@@ -1,0 +1,101 @@
+package holistic
+
+// One benchmark per table/figure of the paper's evaluation (Sec. 6), sized
+// so the full -bench=. run finishes in minutes. cmd/experiments regenerates
+// the complete series (and, with -full, the paper-scale parameters);
+// EXPERIMENTS.md records the measured shapes against the paper's.
+
+import (
+	"testing"
+
+	"holistic/internal/core"
+	"holistic/internal/dataset"
+	"holistic/internal/relation"
+)
+
+func benchStrategies(b *testing.B, rel *relation.Relation, strategies ...string) {
+	b.Helper()
+	src := core.RelationSource{Rel: rel}
+	for _, strategy := range strategies {
+		b.Run(strategy, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := core.Run(strategy, src, core.Options{Seed: int64(i)})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(res.FDs) == 0 {
+					b.Fatal("no FDs found")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFigure6RowScalability is one point of the Figure 6 series: the
+// uniprot-like dataset at 10 columns. Paper shape: all three algorithms are
+// linear in rows; HFUN fastest, MUDS slowest (shadowed-FD cost).
+func BenchmarkFigure6RowScalability(b *testing.B) {
+	rel := dataset.Uniprot(20000)
+	benchStrategies(b, rel, core.StrategyBaseline, core.StrategyHolisticFun, core.StrategyMuds)
+}
+
+// BenchmarkFigure7ColumnScalability is one point of the Figure 7 series:
+// the ionosphere-like dataset at 351 rows. Paper shape: exponential in
+// columns; MUDS scales best, HFUN barely beats the baseline.
+func BenchmarkFigure7ColumnScalability(b *testing.B) {
+	rel := dataset.Ionosphere(12, 351)
+	benchStrategies(b, rel, core.StrategyMuds, core.StrategyHolisticFun, core.StrategyBaseline)
+}
+
+// BenchmarkTable3 covers the quick UCI-like datasets of Table 3 across all
+// four strategies (adult/letter/hepatitis and the crossed 10k-row datasets
+// run via cmd/experiments -table3; they take minutes per run, as in the
+// paper).
+func BenchmarkTable3(b *testing.B) {
+	for _, name := range []string{"iris", "balance", "abalone", "b-cancer", "bridges", "echocard"} {
+		rel, err := dataset.UCI(name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(name, func(b *testing.B) {
+			benchStrategies(b, rel,
+				core.StrategyBaseline, core.StrategyHolisticFun, core.StrategyMuds, core.StrategyTane)
+		})
+	}
+}
+
+// BenchmarkFigure8Phases measures MUDS' phase breakdown on the ncvoter-like
+// dataset. Paper shape: SPIDER and DUCC negligible; the shadowed-FD phases
+// dominate. Per-phase seconds are reported as benchmark metrics.
+func BenchmarkFigure8Phases(b *testing.B) {
+	rel := dataset.NCVoter(1000, 14)
+	totals := map[string]float64{}
+	var order []string
+	for i := 0; i < b.N; i++ {
+		res := core.Muds(rel, core.Options{Seed: int64(i)})
+		if len(res.FDs) == 0 {
+			b.Fatal("no FDs found")
+		}
+		for _, p := range res.Phases {
+			if _, ok := totals[p.Name]; !ok {
+				order = append(order, p.Name)
+			}
+			totals[p.Name] += p.Duration.Seconds()
+		}
+	}
+	for _, name := range order {
+		b.ReportMetric(totals[name]/float64(b.N), name+"-s/op")
+	}
+}
+
+// BenchmarkProfileAPI measures the public entry point end to end on a small
+// mixed dataset (the shape a library user profiles interactively).
+func BenchmarkProfileAPI(b *testing.B) {
+	rel := dataset.NCVoter(1000, 12)
+	for i := 0; i < b.N; i++ {
+		res := ProfileRelation(rel, Options{Seed: int64(i)})
+		if len(res.FDs) == 0 {
+			b.Fatal("no FDs found")
+		}
+	}
+}

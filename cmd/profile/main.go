@@ -1,0 +1,154 @@
+// Command profile runs holistic data profiling on a CSV file and prints the
+// discovered metadata: unary INDs, minimal UCCs, minimal FDs, and single-
+// column statistics.
+//
+// Usage:
+//
+//	profile [-algorithm muds|hfun|baseline|tane] [-sep ,] [-no-header]
+//	        [-max-rows N] [-stats] [-timings] [-seed N]
+//	        [-nary K] [-approx eps] file.csv
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"holistic/internal/core"
+	"holistic/internal/fd"
+	"holistic/internal/ind"
+	"holistic/internal/pli"
+	"holistic/internal/relation"
+	"holistic/internal/stats"
+)
+
+func main() {
+	var (
+		algorithm = flag.String("algorithm", core.StrategyMuds, "profiling strategy: "+strings.Join(core.Strategies(), "|"))
+		sep       = flag.String("sep", ",", "CSV field separator (single character)")
+		noHeader  = flag.Bool("no-header", false, "input has no header row")
+		maxRows   = flag.Int("max-rows", 0, "read at most N data rows (0 = all)")
+		withStats = flag.Bool("stats", false, "also print single-column statistics")
+		timings   = flag.Bool("timings", false, "print per-phase timings")
+		seed      = flag.Int64("seed", 0, "random-walk seed (results are seed-independent)")
+		naryArity = flag.Int("nary", 0, "also discover n-ary INDs up to this arity (0 = off)")
+		approxEps = flag.Float64("approx", 0, "also discover approximate FDs with g3 error ≤ eps (0 = off)")
+		asJSON    = flag.Bool("json", false, "emit the result as JSON instead of text")
+		sqlNulls  = flag.Bool("distinct-nulls", false, "SQL NULL semantics: empty fields compare unequal to each other")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: profile [flags] file.csv")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if len(*sep) != 1 {
+		fmt.Fprintln(os.Stderr, "profile: -sep must be a single character")
+		os.Exit(2)
+	}
+
+	src := core.CSVSource{
+		Path: flag.Arg(0),
+		Options: relation.CSVOptions{
+			Comma:     rune((*sep)[0]),
+			HasHeader: !*noHeader,
+			MaxRows:   *maxRows,
+			Relation:  relation.Options{DistinctNulls: *sqlNulls},
+		},
+	}
+	res, err := core.Run(*algorithm, src, core.Options{Seed: *seed})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "profile:", err)
+		os.Exit(1)
+	}
+
+	rel, err := src.Load()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "profile:", err)
+		os.Exit(1)
+	}
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(core.NewReport(rel, res, *withStats)); err != nil {
+			fmt.Fprintln(os.Stderr, "profile:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	names := rel.ColumnNames()
+	colName := func(c int) string { return names[c] }
+
+	fmt.Printf("# %s — %d columns × %d rows (%d duplicate rows removed)\n",
+		rel.Name(), rel.NumColumns(), rel.NumRows(), rel.DuplicatesRemoved())
+	fmt.Printf("# algorithm=%s total=%v\n\n", *algorithm, res.Total().Round(1000))
+
+	if len(res.INDs) > 0 || *algorithm != core.StrategyTane {
+		fmt.Printf("Unary inclusion dependencies (%d):\n", len(res.INDs))
+		for _, d := range res.INDs {
+			fmt.Printf("  %s ⊆ %s\n", colName(d.Dependent), colName(d.Referenced))
+		}
+		fmt.Println()
+	}
+	if len(res.UCCs) > 0 || *algorithm == core.StrategyMuds || *algorithm == core.StrategyHolisticFun || *algorithm == core.StrategyBaseline {
+		fmt.Printf("Minimal unique column combinations (%d):\n", len(res.UCCs))
+		for _, u := range res.UCCs {
+			fmt.Printf("  {%s}\n", joinCols(u.Columns(), names))
+		}
+		fmt.Println()
+	}
+	fmt.Printf("Minimal functional dependencies (%d):\n", len(res.FDs))
+	for _, f := range res.FDs {
+		fmt.Printf("  [%s] → %s\n", joinCols(f.LHS.Columns(), names), colName(f.RHS))
+	}
+
+	if *naryArity > 1 {
+		nary := ind.Nary(rel, ind.Options{IgnoreNulls: true}, *naryArity)
+		fmt.Printf("\nN-ary inclusion dependencies up to arity %d (%d):\n", *naryArity, len(nary))
+		for _, d := range nary {
+			if len(d.Dependent) < 2 {
+				continue // unary ones are listed above
+			}
+			fmt.Printf("  [%s] ⊆ [%s]\n", joinCols(d.Dependent, names), joinCols(d.Referenced, names))
+		}
+	}
+
+	if *approxEps > 0 {
+		approx := fd.ApproximateFDs(pli.NewProvider(rel, 0), *approxEps, 3)
+		fmt.Printf("\nApproximate FDs with g3 ≤ %.3f (lhs ≤ 3 columns):\n", *approxEps)
+		for _, f := range approx {
+			if f.Error == 0 {
+				continue // exact FDs are listed above
+			}
+			fmt.Printf("  [%s] → %s  (g3=%.3f)\n", joinCols(f.LHS.Columns(), names), colName(f.RHS), f.Error)
+		}
+	}
+
+	if *withStats {
+		fmt.Println("\nColumn statistics:")
+		fmt.Printf("  %-20s %-8s %8s %8s %8s %10s\n", "column", "type", "distinct", "nulls", "unique%", "top-freq")
+		for _, c := range stats.Profile(rel) {
+			fmt.Printf("  %-20s %-8s %8d %8d %7.1f%% %10d\n",
+				c.Name, c.Type, c.Distinct, c.Nulls, 100*c.Uniqueness, c.Frequency)
+		}
+	}
+
+	if *timings {
+		fmt.Println("\nPhase timings:")
+		for _, p := range res.Phases {
+			fmt.Printf("  %-24s %v\n", p.Name, p.Duration.Round(1000))
+		}
+		fmt.Printf("  %-24s %d\n", "validity checks", res.Checks)
+	}
+}
+
+func joinCols(cols []int, names []string) string {
+	parts := make([]string, len(cols))
+	for i, c := range cols {
+		parts[i] = names[c]
+	}
+	return strings.Join(parts, ", ")
+}

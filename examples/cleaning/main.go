@@ -1,0 +1,109 @@
+// Cleaning: use approximate functional dependencies to find dirty rows —
+// the data-cleansing use case from the paper's introduction. An FD that
+// holds on 99% of a table is usually a business rule with violations, and
+// the violating rows are concrete cleaning candidates.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"holistic"
+)
+
+func main() {
+	rel, err := holistic.NewRelation("contacts", contactColumns, dirtyContacts())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Exact FDs first: rules that hold without exception.
+	exact := holistic.ProfileRelation(rel, holistic.Options{})
+	exactSet := map[string]bool{}
+	for _, f := range exact.FDs {
+		exactSet[f.String()] = true
+	}
+
+	// Approximate FDs with up to 5% violations and small left-hand sides.
+	approx := holistic.ApproximateFDs(rel, 0.05, 2)
+
+	names := rel.ColumnNames()
+	fmt.Println("Soft rules (hold with ≤5% violations but not exactly):")
+	for _, af := range approx {
+		key := (holistic.FD{LHS: af.LHS, RHS: af.RHS}).String()
+		if exactSet[key] || af.Error == 0 {
+			continue // exact rules are not cleaning candidates
+		}
+		fmt.Printf("  %v -> %s  (%.1f%% of rows violate)\n",
+			cols(af.LHS, names), names[af.RHS], 100*af.Error)
+		reportViolations(rel, af)
+	}
+}
+
+// reportViolations prints the rows deviating from the per-group majority.
+func reportViolations(rel *holistic.Relation, af holistic.ApproxFD) {
+	type group struct {
+		counts map[string]int
+		rows   map[string][]int
+	}
+	groups := map[string]*group{}
+	lhsCols := af.LHS.Columns()
+	for row := 0; row < rel.NumRows(); row++ {
+		key := ""
+		for _, c := range lhsCols {
+			key += rel.Value(row, c) + "|"
+		}
+		g := groups[key]
+		if g == nil {
+			g = &group{counts: map[string]int{}, rows: map[string][]int{}}
+			groups[key] = g
+		}
+		v := rel.Value(row, af.RHS)
+		g.counts[v]++
+		g.rows[v] = append(g.rows[v], row)
+	}
+	for _, g := range groups {
+		majority, best := "", 0
+		for v, n := range g.counts {
+			if n > best {
+				majority, best = v, n
+			}
+		}
+		for v, rows := range g.rows {
+			if v == majority {
+				continue
+			}
+			for _, row := range rows {
+				fmt.Printf("      row %d: %v (majority value here: %q)\n",
+					row, rel.Row(row), majority)
+			}
+		}
+	}
+}
+
+var contactColumns = []string{"id", "zip", "city", "country"}
+
+func dirtyContacts() [][]string {
+	rows := [][]string{}
+	add := func(n int, zip, city, country string) {
+		for i := 0; i < n; i++ {
+			rows = append(rows, []string{fmt.Sprintf("c%03d", len(rows)), zip, city, country})
+		}
+	}
+	add(30, "14482", "Potsdam", "DE")
+	add(25, "10115", "Berlin", "DE")
+	add(25, "75001", "Paris", "FR")
+	// Dirty entries: one typo city for an existing zip, one wrong country.
+	rows = append(rows, []string{"c900", "14482", "Posdam", "DE"})
+	rows = append(rows, []string{"c901", "10115", "Berlin", "FR"})
+	return rows
+}
+
+func cols(s holistic.ColumnSet, names []string) []string {
+	cc := s.Columns()
+	out := make([]string, len(cc))
+	for i, c := range cc {
+		out[i] = names[c]
+	}
+	return out
+}

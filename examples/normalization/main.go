@@ -1,0 +1,112 @@
+// Normalization: use the jointly discovered UCCs and FDs to analyse a
+// denormalised table and propose a decomposition — the schema-design use
+// case (database reverse engineering) motivating holistic profiling.
+//
+// The example profiles a flat invoice table, picks a primary key from the
+// minimal UCCs, classifies every FD as a key dependency or a violation of
+// 2NF/3NF, and prints the suggested decomposed relations.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"holistic"
+)
+
+func main() {
+	rel, err := holistic.NewRelation("invoice_lines", invoiceColumns, invoiceRows())
+	if err != nil {
+		log.Fatal(err)
+	}
+	res := holistic.ProfileRelation(rel, holistic.Options{})
+	names := rel.ColumnNames()
+
+	if len(res.UCCs) == 0 {
+		log.Fatal("no key found — table has duplicate semantics")
+	}
+	// Pick the smallest UCC as primary key (ties: first in sorted order).
+	key := res.UCCs[0]
+	fmt.Printf("Primary key: %v\n\n", cols(key, names))
+
+	fmt.Println("Functional dependencies and their normal-form diagnosis:")
+	type split struct {
+		determinant holistic.ColumnSet
+		attrs       holistic.ColumnSet
+	}
+	groups := map[holistic.ColumnSet]holistic.ColumnSet{}
+	for _, f := range res.FDs {
+		if f.LHS.IsEmpty() {
+			fmt.Printf("  constant column: %s\n", names[f.RHS])
+			continue
+		}
+		switch {
+		case f.LHS == key:
+			fmt.Printf("  key FD        : %v -> %s\n", cols(f.LHS, names), names[f.RHS])
+		case f.LHS.IsProperSubsetOf(key):
+			fmt.Printf("  2NF violation : %v -> %s (partial key dependency)\n", cols(f.LHS, names), names[f.RHS])
+			groups[f.LHS] = groups[f.LHS].With(f.RHS)
+		default:
+			fmt.Printf("  3NF violation : %v -> %s (transitive dependency)\n", cols(f.LHS, names), names[f.RHS])
+			groups[f.LHS] = groups[f.LHS].With(f.RHS)
+		}
+	}
+
+	fmt.Println("\nSuggested decomposition:")
+	var determinants []holistic.ColumnSet
+	for det := range groups {
+		determinants = append(determinants, det)
+	}
+	// Deterministic output order.
+	for _, f := range res.FDs {
+		for i, det := range determinants {
+			if det == f.LHS {
+				fmt.Printf("  table_%d(%v*, %v)\n", i+1, cols(det, names), cols(groups[det], names))
+				determinants = append(determinants[:i], determinants[i+1:]...)
+				break
+			}
+		}
+	}
+	remaining := rel.AllColumns()
+	for _, rhs := range groups {
+		remaining = remaining.Diff(rhs)
+	}
+	fmt.Printf("  core(%v)\n", cols(remaining, names))
+}
+
+var invoiceColumns = []string{
+	"invoice_id", "line_no", "product_id", "product_name", "unit_price",
+	"customer_id", "customer_name", "quantity",
+}
+
+func invoiceRows() [][]string {
+	products := [][2]string{{"p1", "Widget"}, {"p2", "Gadget"}, {"p3", "Gizmo"}}
+	prices := map[string]string{"p1": "9.99", "p2": "19.99", "p3": "4.49"}
+	customers := [][2]string{{"c1", "Ada"}, {"c2", "Grace"}, {"c3", "Edsger"}}
+	var rows [][]string
+	line := 0
+	for inv := 1; inv <= 40; inv++ {
+		cust := customers[inv%3]
+		for l := 1; l <= 1+inv%3; l++ {
+			line++
+			prod := products[(inv+l)%3]
+			rows = append(rows, []string{
+				fmt.Sprintf("i%03d", inv),
+				fmt.Sprint(l),
+				prod[0], prod[1], prices[prod[0]],
+				cust[0], cust[1],
+				fmt.Sprint(1 + (inv*l)%5),
+			})
+		}
+	}
+	return rows
+}
+
+func cols(s holistic.ColumnSet, names []string) []string {
+	cc := s.Columns()
+	out := make([]string, len(cc))
+	for i, c := range cc {
+		out[i] = names[c]
+	}
+	return out
+}

@@ -1,0 +1,60 @@
+// Quickstart: profile a small in-memory table and print all three kinds of
+// discovered metadata.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"holistic"
+)
+
+func main() {
+	// A tiny order table: order_id is the key, customer data repeats per
+	// customer (customer_id determines name and city), and every value of
+	// ship_city also appears in city.
+	rel, err := holistic.NewRelation("orders",
+		[]string{"order_id", "customer_id", "customer_name", "city", "ship_city"},
+		[][]string{
+			{"1", "c1", "Ada", "Berlin", "Berlin"},
+			{"2", "c1", "Ada", "Berlin", "Potsdam"},
+			{"3", "c2", "Grace", "Potsdam", "Berlin"},
+			{"4", "c3", "Edsger", "Berlin", "Potsdam"},
+			{"5", "c2", "Grace", "Potsdam", "Potsdam"},
+		})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	res := holistic.ProfileRelation(rel, holistic.Options{})
+
+	names := rel.ColumnNames()
+	fmt.Println("Minimal unique column combinations (key candidates):")
+	for _, u := range res.UCCs {
+		fmt.Printf("  %v\n", columnNames(u, names))
+	}
+
+	fmt.Println("\nMinimal functional dependencies:")
+	for _, f := range res.FDs {
+		fmt.Printf("  %v -> %s\n", columnNames(f.LHS, names), names[f.RHS])
+	}
+
+	fmt.Println("\nUnary inclusion dependencies:")
+	for _, d := range res.INDs {
+		fmt.Printf("  %s ⊆ %s\n", names[d.Dependent], names[d.Referenced])
+	}
+
+	fmt.Println("\nPhase timings:")
+	for _, p := range res.Phases {
+		fmt.Printf("  %-24s %v\n", p.Name, p.Duration)
+	}
+}
+
+func columnNames(s holistic.ColumnSet, names []string) []string {
+	cols := s.Columns()
+	out := make([]string, len(cols))
+	for i, c := range cols {
+		out[i] = names[c]
+	}
+	return out
+}

@@ -1,0 +1,3 @@
+module holistic
+
+go 1.22

@@ -1,0 +1,155 @@
+// Package holistic is a holistic data profiler: it discovers the three most
+// important kinds of relational metadata — unary inclusion dependencies,
+// minimal unique column combinations, and minimal functional dependencies —
+// in a single run that shares I/O and data structures across the three tasks
+// and prunes each task's search space with the others' results.
+//
+// It is a from-scratch Go implementation of the algorithms from
+// "Holistic Data Profiling: Simultaneous Discovery of Various Metadata"
+// (Ehrlich, Roick, Schulze, Zwiener, Papenbrock, Naumann — EDBT 2016),
+// including the paper's novel MUDS algorithm, the Holistic FUN adaption, the
+// sequential SPIDER+DUCC+FUN baseline, and the TANE comparison algorithm.
+//
+// # Quick start
+//
+//	rel, err := holistic.ReadCSVFile("data.csv", holistic.CSVOptions{HasHeader: true})
+//	if err != nil { ... }
+//	res := holistic.ProfileRelation(rel, holistic.Options{})
+//	for _, f := range res.FDs  { fmt.Println(f) }   // minimal FDs
+//	for _, u := range res.UCCs { fmt.Println(u) }   // minimal UCCs (keys)
+//	for _, d := range res.INDs { fmt.Println(d) }   // unary INDs
+//
+// The heavy lifting lives in the internal packages (one per subsystem); this
+// package re-exports the stable surface via type aliases and thin wrappers.
+package holistic
+
+import (
+	"holistic/internal/bitset"
+	"holistic/internal/core"
+	"holistic/internal/fd"
+	"holistic/internal/ind"
+	"holistic/internal/pli"
+	"holistic/internal/relation"
+	"holistic/internal/stats"
+)
+
+// Core data types, re-exported from the internal subsystems.
+type (
+	// Relation is an immutable, dictionary-encoded relation instance with
+	// duplicate rows removed.
+	Relation = relation.Relation
+	// CSVOptions controls CSV parsing.
+	CSVOptions = relation.CSVOptions
+	// RelationOptions controls NULL semantics of relation construction.
+	RelationOptions = relation.Options
+	// ColumnSet is a set of column indexes (up to 256 columns).
+	ColumnSet = bitset.Set
+	// FD is a minimal functional dependency LHS → RHS.
+	FD = fd.FD
+	// IND is a unary inclusion dependency Dependent ⊆ Referenced.
+	IND = ind.IND
+	// INDOptions configures IND discovery (NULL semantics).
+	INDOptions = ind.Options
+	// Options configures a profiling run.
+	Options = core.Options
+	// Result bundles INDs, UCCs, FDs and per-phase timings.
+	Result = core.Result
+	// Phase is a timed stage of a run.
+	Phase = core.Phase
+	// Source supplies input relations to the runners.
+	Source = core.Source
+	// CSVSource loads a relation from a CSV file on every input pass.
+	CSVSource = core.CSVSource
+	// RelationSource wraps an in-memory relation.
+	RelationSource = core.RelationSource
+)
+
+// Profiling strategies.
+const (
+	// StrategyMuds is the paper's holistic MUDS algorithm (default).
+	StrategyMuds = core.StrategyMuds
+	// StrategyHolisticFun is FUN extended with UCC output and shared I/O.
+	StrategyHolisticFun = core.StrategyHolisticFun
+	// StrategyBaseline runs SPIDER, DUCC and FUN sequentially.
+	StrategyBaseline = core.StrategyBaseline
+	// StrategyTane runs the TANE FD algorithm only.
+	StrategyTane = core.StrategyTane
+	// StrategyFDFirst discovers FDs with FUN and infers the minimal UCCs
+	// from them via Lemma 2 (the "FDs first" approach of paper Sec. 3.1).
+	StrategyFDFirst = core.StrategyFDFirst
+)
+
+// Strategies lists the supported strategy names.
+func Strategies() []string { return core.Strategies() }
+
+// NewRelation builds a relation from row-major string data; duplicate rows
+// are removed.
+func NewRelation(name string, columnNames []string, rows [][]string) (*Relation, error) {
+	return relation.New(name, columnNames, rows)
+}
+
+// NewRelationWithOptions builds a relation with explicit NULL semantics
+// (SQL-style NULL ≠ NULL via RelationOptions.DistinctNulls).
+func NewRelationWithOptions(name string, columnNames []string, rows [][]string, opts RelationOptions) (*Relation, error) {
+	return relation.NewWithOptions(name, columnNames, rows, opts)
+}
+
+// ReadCSVFile loads a relation from a CSV file.
+func ReadCSVFile(path string, opts CSVOptions) (*Relation, error) {
+	return relation.ReadCSVFile(path, opts)
+}
+
+// Profile runs the holistic MUDS algorithm on the source.
+func Profile(src Source, opts Options) (*Result, error) {
+	return core.RunMuds(src, opts)
+}
+
+// ProfileRelation runs MUDS on an already-loaded relation.
+func ProfileRelation(rel *Relation, opts Options) *Result {
+	return core.Muds(rel, opts)
+}
+
+// ProfileWith runs the named strategy ("muds", "hfun", "baseline", "tane").
+func ProfileWith(strategy string, src Source, opts Options) (*Result, error) {
+	return core.Run(strategy, src, opts)
+}
+
+// Columns is a convenience constructor for column sets.
+func Columns(cols ...int) ColumnSet { return bitset.New(cols...) }
+
+// Extension types beyond the paper's three core metadata kinds.
+type (
+	// NaryIND is an inclusion dependency between attribute sequences.
+	NaryIND = ind.NaryIND
+	// ApproxFD is an approximate FD with its g3 error.
+	ApproxFD = fd.ApproxFD
+	// ColumnStats holds single-column statistics.
+	ColumnStats = stats.Column
+	// Report is the JSON-friendly form of a Result with resolved names.
+	Report = core.Report
+)
+
+// NewReport resolves a Result against its relation for serialisation;
+// withStats embeds single-column statistics.
+func NewReport(rel *Relation, res *Result, withStats bool) *Report {
+	return core.NewReport(rel, res, withStats)
+}
+
+// NaryINDs discovers inclusion dependencies up to maxArity attributes per
+// side (0 = unbounded), level-wise on top of SPIDER's unary results.
+func NaryINDs(rel *Relation, opts INDOptions, maxArity int) []NaryIND {
+	return ind.Nary(rel, opts, maxArity)
+}
+
+// ApproximateFDs discovers all minimal approximate FDs with g3 error ≤ eps
+// (eps = 0 gives the exact minimal FDs). maxLHS bounds the left-hand-side
+// size (0 = unbounded).
+func ApproximateFDs(rel *Relation, eps float64, maxLHS int) []ApproxFD {
+	return fd.ApproximateFDs(pli.NewProvider(rel, 0), eps, maxLHS)
+}
+
+// Statistics computes single-column statistics (type inference, distinct
+// and NULL counts, extremes, frequent values) from the shared encoding.
+func Statistics(rel *Relation) []ColumnStats {
+	return stats.Profile(rel)
+}

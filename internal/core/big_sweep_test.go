@@ -1,0 +1,28 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestBigSweep is an extended randomized cross-check of MUDS against the
+// brute-force oracles, covering wider/lower-cardinality shapes that provoke
+// shadowed FDs and multi-UCC left-hand sides.
+func TestBigSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("big sweep skipped in -short mode")
+	}
+	shapes := []struct{ cols, rows, card int }{
+		{8, 30, 3},
+		{6, 60, 2},
+		{9, 15, 2},
+		{5, 80, 5},
+	}
+	for si, shape := range shapes {
+		for seed := int64(0); seed < 500; seed++ {
+			rnd := rand.New(rand.NewSource(seed + int64(si)*1_000_000))
+			rel := randomRelation(rnd, shape.cols, shape.rows, shape.card)
+			verifyMudsMatchesOracles(t, rel, seed)
+		}
+	}
+}

@@ -1,0 +1,83 @@
+package core
+
+import (
+	"holistic/internal/bitset"
+	"holistic/internal/fd"
+	"holistic/internal/ind"
+	"holistic/internal/pli"
+	"holistic/internal/relation"
+	"holistic/internal/ucc"
+)
+
+// Options configures a MUDS run (and the other strategies where relevant).
+type Options struct {
+	// Seed fixes the randomized traversal orders of DUCC and the R\Z walk.
+	// Results are independent of the seed.
+	Seed int64
+	// IND configures the SPIDER sub-algorithm.
+	IND ind.Options
+	// CacheEntries bounds the shared PLI cache (0 = default).
+	CacheEntries int
+}
+
+// Muds runs the full holistic MUDS algorithm (paper Sec. 5) on a loaded
+// relation: SPIDER while reading (shared I/O), DUCC on the shared PLIs, and
+// the three-phase UCC-first FD discovery with inter-task pruning.
+func Muds(rel *relation.Relation, opts Options) *Result {
+	res := &Result{}
+	timer := newPhaseTimer()
+
+	var p *pli.Provider
+	timer.time(PhaseSpider, func() {
+		// SPIDER consumes the sorted duplicate-free value lists; the PLIs
+		// are built in the same pass over the input (paper Sec. 5: "Since
+		// this algorithm already requires to read and sort all records,
+		// Muds also builds the PLIs in this step").
+		res.INDs = ind.Spider(rel, opts.IND)
+		p = pli.NewProvider(rel, opts.CacheEntries)
+	})
+
+	var uccRes ucc.Result
+	timer.time(PhaseDucc, func() {
+		uccRes = ucc.Ducc(p, opts.Seed)
+	})
+	res.UCCs = uccRes.Minimal
+	res.Checks += uccRes.Checks
+
+	store := fd.NewStore()
+	constants := fd.ConstantColumns(p)
+	constants.ForEach(func(a int) { store.Add(bitset.Set{}, a) })
+
+	if rel.NumRows() > 1 {
+		working := rel.AllColumns().Diff(constants)
+		m := newMudsFD(p, working, res.UCCs, store, opts.Seed)
+
+		timer.time(PhaseMinimizeFDs, m.minimizeFDs)
+		timer.time(PhaseCalculateRZ, m.calculateRZ)
+
+		// Shadowed-FD fixpoint: generate + minimise until no new FD appears
+		// (see shadowed.go for why a single pass is not enough).
+		for {
+			var tasks []shadowTask
+			timer.time(PhaseGenerateShadowed, func() {
+				tasks = m.generateShadowedTasks()
+			})
+			before := store.Count()
+			timer.time(PhaseMinimizeShadowed, func() {
+				m.minimizeShadowed(tasks)
+			})
+			if store.Count() == before {
+				break
+			}
+		}
+
+		// Guarantee the complete minimal cover (see sweep.go).
+		timer.time(PhaseCompletionSweep, m.completionSweep)
+
+		res.Checks += m.checks
+	}
+
+	res.FDs = store.All()
+	res.Phases = timer.phases
+	return res
+}

@@ -1,0 +1,82 @@
+package core
+
+import (
+	"holistic/internal/relation"
+	"holistic/internal/stats"
+)
+
+// Report is the serialisation-friendly form of a profiling result: column
+// references are resolved to names, sets to name lists, durations to
+// seconds. It marshals cleanly with encoding/json.
+type Report struct {
+	Dataset           string         `json:"dataset"`
+	Columns           []string       `json:"columns"`
+	Rows              int            `json:"rows"`
+	DuplicatesRemoved int            `json:"duplicates_removed"`
+	INDs              []INDReport    `json:"inds"`
+	UCCs              [][]string     `json:"uccs"`
+	FDs               []FDReport     `json:"fds"`
+	Phases            []PhaseReport  `json:"phases"`
+	TotalSeconds      float64        `json:"total_seconds"`
+	Checks            int            `json:"checks"`
+	Stats             []stats.Column `json:"stats,omitempty"`
+}
+
+// INDReport is one unary inclusion dependency with resolved names.
+type INDReport struct {
+	Dependent  string `json:"dependent"`
+	Referenced string `json:"referenced"`
+}
+
+// FDReport is one minimal FD with resolved names.
+type FDReport struct {
+	LHS []string `json:"lhs"`
+	RHS string   `json:"rhs"`
+}
+
+// PhaseReport is one timed phase.
+type PhaseReport struct {
+	Name    string  `json:"name"`
+	Seconds float64 `json:"seconds"`
+}
+
+// NewReport resolves a Result against its relation. withStats additionally
+// embeds single-column statistics.
+func NewReport(rel *relation.Relation, res *Result, withStats bool) *Report {
+	names := rel.ColumnNames()
+	r := &Report{
+		Dataset:           rel.Name(),
+		Columns:           append([]string(nil), names...),
+		Rows:              rel.NumRows(),
+		DuplicatesRemoved: rel.DuplicatesRemoved(),
+		TotalSeconds:      res.Total().Seconds(),
+		Checks:            res.Checks,
+		INDs:              []INDReport{},
+		UCCs:              [][]string{},
+		FDs:               []FDReport{},
+	}
+	for _, d := range res.INDs {
+		r.INDs = append(r.INDs, INDReport{Dependent: names[d.Dependent], Referenced: names[d.Referenced]})
+	}
+	for _, u := range res.UCCs {
+		r.UCCs = append(r.UCCs, columnNames(u.Columns(), names))
+	}
+	for _, f := range res.FDs {
+		r.FDs = append(r.FDs, FDReport{LHS: columnNames(f.LHS.Columns(), names), RHS: names[f.RHS]})
+	}
+	for _, p := range res.Phases {
+		r.Phases = append(r.Phases, PhaseReport{Name: p.Name, Seconds: p.Duration.Seconds()})
+	}
+	if withStats {
+		r.Stats = stats.Profile(rel)
+	}
+	return r
+}
+
+func columnNames(cols []int, names []string) []string {
+	out := make([]string, len(cols))
+	for i, c := range cols {
+		out[i] = names[c]
+	}
+	return out
+}

@@ -1,0 +1,98 @@
+// Package core implements the paper's primary contribution: the holistic
+// profiling algorithm MUDS (paper Secs. 4 and 5), which jointly discovers
+// unary INDs, minimal UCCs and minimal FDs with inter-task pruning, plus the
+// comparison strategies of the evaluation (sequential baseline, Holistic
+// FUN, TANE) behind a uniform runner interface.
+package core
+
+import (
+	"time"
+
+	"holistic/internal/bitset"
+	"holistic/internal/fd"
+	"holistic/internal/ind"
+)
+
+// Phase is one timed stage of a profiling run. The phase names of a MUDS run
+// match Figure 8 of the paper.
+type Phase struct {
+	Name     string
+	Duration time.Duration
+}
+
+// Result is the holistic profiling output: all three metadata types plus
+// per-phase timings.
+type Result struct {
+	// INDs are the unary inclusion dependencies, sorted.
+	INDs []ind.IND
+	// UCCs are the minimal unique column combinations, sorted.
+	UCCs []bitset.Set
+	// FDs are the minimal functional dependencies, sorted. Constant columns
+	// appear as ∅ → A.
+	FDs []fd.FD
+	// Phases holds the timed stages in execution order.
+	Phases []Phase
+	// Checks counts data-touching validity checks (uniqueness tests,
+	// partition refinements) across all phases.
+	Checks int
+}
+
+// Total returns the summed duration of all phases.
+func (r *Result) Total() time.Duration {
+	var t time.Duration
+	for _, p := range r.Phases {
+		t += p.Duration
+	}
+	return t
+}
+
+// PhaseDuration returns the duration of the named phase (0 if absent).
+// Repeated phases (fixpoint rounds) are summed.
+func (r *Result) PhaseDuration(name string) time.Duration {
+	var t time.Duration
+	for _, p := range r.Phases {
+		if p.Name == name {
+			t += p.Duration
+		}
+	}
+	return t
+}
+
+// phaseTimer accumulates named phase durations in insertion order.
+type phaseTimer struct {
+	phases []Phase
+	index  map[string]int
+}
+
+func newPhaseTimer() *phaseTimer {
+	return &phaseTimer{index: make(map[string]int)}
+}
+
+// time runs fn and accounts its wall time to the named phase, merging
+// repeated invocations of the same phase.
+func (t *phaseTimer) time(name string, fn func()) {
+	start := time.Now()
+	fn()
+	d := time.Since(start)
+	if i, ok := t.index[name]; ok {
+		t.phases[i].Duration += d
+		return
+	}
+	t.index[name] = len(t.phases)
+	t.phases = append(t.phases, Phase{Name: name, Duration: d})
+}
+
+// Canonical MUDS phase names (Figure 8 of the paper).
+const (
+	PhaseSpider           = "SPIDER"
+	PhaseDucc             = "DUCC"
+	PhaseMinimizeFDs      = "minimizeFDs"
+	PhaseCalculateRZ      = "calculateRZ"
+	PhaseGenerateShadowed = "generateShadowedTasks"
+	PhaseMinimizeShadowed = "minimizeShadowedTasks"
+	PhaseCompletionSweep  = "completionSweep"
+	PhaseLoad             = "load"
+	PhaseFDDiscovery      = "fdDiscovery"  // FUN/TANE runs (non-MUDS)
+	PhaseUCCDiscovery     = "uccDiscovery" // DUCC in the sequential baseline
+	PhaseUCCInference     = "uccInference" // Lemma-2 key derivation (fdfirst)
+)

@@ -1,0 +1,183 @@
+package core
+
+import (
+	"holistic/internal/bitset"
+	"holistic/internal/fd"
+	"holistic/internal/pli"
+	"holistic/internal/settrie"
+)
+
+// mudsFD is the state of MUDS' FD discovery part (paper Sec. 5): the shared
+// PLI provider handed over from DUCC, the minimal UCCs organised in a prefix
+// tree for connector look-ups and subset pruning (Sec. 5.4), and the FD
+// result store with per-rhs minimal-lhs families.
+type mudsFD struct {
+	p       *pli.Provider
+	working bitset.Set // non-constant columns
+	uccs    *settrie.MinimalFamily
+	z       bitset.Set // union of all minimal UCCs (Sec. 4)
+	store   *fd.Store
+	perRHS  map[int]*settrie.MinimalFamily
+	// falseRHS collects, per right-hand side, the left-hand sides proven
+	// NOT to determine it (maximal certificates). Every failed data check
+	// in any phase lands here and prunes later checks: by Lemma 4 a subset
+	// of a failed left-hand side fails too. The completion sweep seeds its
+	// walks from these families, so boundary work is never repeated.
+	falseRHS map[int]*settrie.MaximalFamily
+	checks   int
+	seed     int64
+
+	// shadowSeen dedups generated shadow candidates and shadowProcessed
+	// dedups minimisation work across the fixpoint rounds of the shadowed
+	// phase (lhs → rhs attributes already handled).
+	shadowSeen      map[bitset.Set]bitset.Set
+	shadowProcessed map[bitset.Set]bitset.Set
+	removeUCCCache  map[bitset.Set][]bitset.Set
+}
+
+func newMudsFD(p *pli.Provider, working bitset.Set, minimalUCCs []bitset.Set, store *fd.Store, seed int64) *mudsFD {
+	m := &mudsFD{
+		p:               p,
+		working:         working,
+		uccs:            &settrie.MinimalFamily{},
+		store:           store,
+		perRHS:          make(map[int]*settrie.MinimalFamily),
+		falseRHS:        make(map[int]*settrie.MaximalFamily),
+		seed:            seed,
+		shadowSeen:      make(map[bitset.Set]bitset.Set),
+		shadowProcessed: make(map[bitset.Set]bitset.Set),
+		removeUCCCache:  make(map[bitset.Set][]bitset.Set),
+	}
+	for _, u := range minimalUCCs {
+		m.uccs.Add(u)
+		m.z = m.z.Union(u)
+	}
+	return m
+}
+
+// lhsFamily returns the minimal-lhs family for right-hand side a.
+func (m *mudsFD) lhsFamily(a int) *settrie.MinimalFamily {
+	f, ok := m.perRHS[a]
+	if !ok {
+		f = &settrie.MinimalFamily{}
+		m.perRHS[a] = f
+	}
+	return f
+}
+
+// emit records the verified-minimal FD lhs → a, deduplicating against
+// earlier emissions. A defensive guard removes any stored superset left
+// behind if a smaller left-hand side arrives late.
+func (m *mudsFD) emit(lhs bitset.Set, a int) {
+	fam := m.lhsFamily(a)
+	if fam.CoversSubsetOf(lhs) {
+		return // already stored, or a smaller lhs is known
+	}
+	for _, sup := range fam.SupersetsOf(lhs) {
+		m.store.Remove(sup, a)
+	}
+	fam.Add(lhs)
+	m.store.Add(lhs, a)
+}
+
+// knownValid reports whether lhs → a follows from already-emitted FDs.
+func (m *mudsFD) knownValid(lhs bitset.Set, a int) bool {
+	f, ok := m.perRHS[a]
+	return ok && f.CoversSubsetOf(lhs)
+}
+
+// falseFamily returns the certified-non-FD family for right-hand side a.
+func (m *mudsFD) falseFamily(a int) *settrie.MaximalFamily {
+	f, ok := m.falseRHS[a]
+	if !ok {
+		f = &settrie.MaximalFamily{}
+		m.falseRHS[a] = f
+	}
+	return f
+}
+
+// knownInvalid reports whether lhs → a is refuted by a recorded failure:
+// lhs ⊆ X with X ↛ a implies lhs ↛ a (Lemma 4).
+func (m *mudsFD) knownInvalid(lhs bitset.Set, a int) bool {
+	f, ok := m.falseRHS[a]
+	return ok && f.CoversSupersetOf(lhs)
+}
+
+// resolveFD decides lhs → a, consulting certificates before touching PLIs.
+func (m *mudsFD) resolveFD(lhs bitset.Set, a int) bool {
+	if lhs.Has(a) {
+		return true
+	}
+	if m.knownValid(lhs, a) {
+		return true
+	}
+	if m.knownInvalid(lhs, a) {
+		return false
+	}
+	m.checks++
+	if m.p.Get(lhs).Refines(m.p.Relation().Column(a)) {
+		return true
+	}
+	m.falseFamily(a).Add(lhs)
+	return false
+}
+
+// checkFDs validates lhs → a for every a ∈ rhs in one pass over lhs's PLI
+// (skipping attributes already implied by emitted FDs) and returns the valid
+// subset.
+func (m *mudsFD) checkFDs(lhs bitset.Set, rhs bitset.Set) bitset.Set {
+	valid := bitset.Set{}
+	todo := bitset.Set{}
+	for a := rhs.First(); a >= 0; a = rhs.NextAfter(a) {
+		switch {
+		case lhs.Has(a):
+			valid = valid.With(a)
+		case m.knownValid(lhs, a):
+			valid = valid.With(a)
+		case m.knownInvalid(lhs, a):
+			// refuted by a recorded failure; skip the data check
+		default:
+			todo = todo.With(a)
+		}
+	}
+	if !todo.IsEmpty() {
+		m.checks += todo.Len()
+		checked := m.p.CheckFDs(lhs, todo)
+		valid = valid.Union(checked)
+		failed := todo.Diff(checked)
+		for a := failed.First(); a >= 0; a = failed.NextAfter(a) {
+			m.falseFamily(a).Add(lhs)
+		}
+	}
+	return valid
+}
+
+// connectorLookup implements the look-up of paper Sec. 5.1 (Table 2): the
+// union of all minimal UCCs that are supersets of the connector, minus the
+// connector itself. The resulting columns are the right-hand-side candidates
+// reachable from left-hand sides that connect to the given connector.
+func (m *mudsFD) connectorLookup(connector bitset.Set) bitset.Set {
+	var union bitset.Set
+	for _, u := range m.uccs.SupersetsOf(connector) {
+		union = union.Union(u)
+	}
+	return union.Diff(connector)
+}
+
+// impossibleColumns implements pruning rule 1 of paper Sec. 4: an FD cannot
+// exist if it is fully contained in a minimal UCC. For a left-hand side lhs
+// the impossible right-hand sides are the columns a with lhs ∪ {a} inside
+// some minimal UCC, i.e. the union of the minimal UCCs containing lhs.
+func (m *mudsFD) impossibleColumns(lhs bitset.Set) bitset.Set {
+	var union bitset.Set
+	for _, u := range m.uccs.SupersetsOf(lhs) {
+		union = union.Union(u)
+	}
+	return union.Diff(lhs)
+}
+
+// rzColumns returns R \ Z: the working columns in no minimal UCC. By pruning
+// rule 2 of Sec. 4, no subset of R \ Z can determine a column of Z.
+func (m *mudsFD) rzColumns() bitset.Set {
+	return m.working.Diff(m.z)
+}

@@ -1,0 +1,243 @@
+package core
+
+import (
+	"fmt"
+
+	"holistic/internal/fd"
+	"holistic/internal/ind"
+	"holistic/internal/pli"
+	"holistic/internal/relation"
+	"holistic/internal/ucc"
+)
+
+// Source supplies the input relation of a profiling run. Load is called once
+// per algorithm that needs the data, so the sequential baseline — which runs
+// three independent algorithms — pays the input cost three times, exactly
+// the I/O duplication the holistic algorithms eliminate (paper Sec. 3).
+type Source interface {
+	// Name identifies the dataset.
+	Name() string
+	// Load parses/encodes the input and returns a fresh relation.
+	Load() (*relation.Relation, error)
+}
+
+// RelationSource wraps an already-loaded relation; Load re-encodes it from
+// its rows to simulate an input pass, so baseline-vs-holistic comparisons on
+// in-memory data still reflect shared-I/O savings.
+type RelationSource struct {
+	Rel *relation.Relation
+}
+
+// Name implements Source.
+func (s RelationSource) Name() string { return s.Rel.Name() }
+
+// Load implements Source by re-encoding the relation.
+func (s RelationSource) Load() (*relation.Relation, error) {
+	return relation.New(s.Rel.Name(), s.Rel.ColumnNames(), s.Rel.Rows())
+}
+
+// CSVSource loads a relation from a CSV file on every call.
+type CSVSource struct {
+	Path    string
+	Options relation.CSVOptions
+}
+
+// Name implements Source.
+func (s CSVSource) Name() string { return s.Path }
+
+// Load implements Source.
+func (s CSVSource) Load() (*relation.Relation, error) {
+	return relation.ReadCSVFile(s.Path, s.Options)
+}
+
+// Strategy names accepted by Run.
+const (
+	StrategyMuds        = "muds"
+	StrategyHolisticFun = "hfun"
+	StrategyBaseline    = "baseline"
+	StrategyTane        = "tane"
+	StrategyFDFirst     = "fdfirst"
+)
+
+// Strategies lists the supported strategy names.
+func Strategies() []string {
+	return []string{StrategyMuds, StrategyHolisticFun, StrategyBaseline, StrategyTane, StrategyFDFirst}
+}
+
+// Run executes the named profiling strategy on src.
+func Run(strategy string, src Source, opts Options) (*Result, error) {
+	switch strategy {
+	case StrategyMuds:
+		return RunMuds(src, opts)
+	case StrategyHolisticFun:
+		return RunHolisticFun(src, opts)
+	case StrategyBaseline:
+		return RunBaseline(src, opts)
+	case StrategyTane:
+		return RunTane(src, opts)
+	case StrategyFDFirst:
+		return RunFDFirst(src, opts)
+	default:
+		return nil, fmt.Errorf("core: unknown strategy %q (want one of %v)", strategy, Strategies())
+	}
+}
+
+// RunMuds loads the input once and runs the holistic MUDS algorithm.
+func RunMuds(src Source, opts Options) (*Result, error) {
+	timer := newPhaseTimer()
+	var rel *relation.Relation
+	var err error
+	timer.time(PhaseLoad, func() {
+		rel, err = src.Load()
+	})
+	if err != nil {
+		return nil, err
+	}
+	inner := Muds(rel, opts)
+	inner.Phases = append(timer.phases, inner.Phases...)
+	return inner, nil
+}
+
+// RunHolisticFun loads the input once and runs Holistic FUN (paper
+// Sec. 3.2): SPIDER while reading, then FUN extended to also return the
+// minimal UCCs it traverses.
+func RunHolisticFun(src Source, opts Options) (*Result, error) {
+	res := &Result{}
+	timer := newPhaseTimer()
+	var rel *relation.Relation
+	var err error
+	timer.time(PhaseLoad, func() {
+		rel, err = src.Load()
+	})
+	if err != nil {
+		return nil, err
+	}
+	var p *pli.Provider
+	timer.time(PhaseSpider, func() {
+		res.INDs = ind.Spider(rel, opts.IND)
+		p = pli.NewProvider(rel, opts.CacheEntries)
+	})
+	timer.time(PhaseFDDiscovery, func() {
+		r := fd.Fun(p)
+		res.FDs = r.FDs
+		res.UCCs = r.MinimalUCCs
+		res.Checks += r.Checks
+	})
+	res.Phases = timer.phases
+	return res, nil
+}
+
+// RunBaseline executes the sequential baseline of the paper's evaluation:
+// SPIDER, DUCC and FUN run one after another as independent algorithms,
+// each reading the input and building its own data structures.
+func RunBaseline(src Source, opts Options) (*Result, error) {
+	res := &Result{}
+	timer := newPhaseTimer()
+
+	load := func() (*relation.Relation, error) {
+		var rel *relation.Relation
+		var err error
+		timer.time(PhaseLoad, func() {
+			rel, err = src.Load()
+		})
+		return rel, err
+	}
+
+	// SPIDER with its own input pass.
+	rel, err := load()
+	if err != nil {
+		return nil, err
+	}
+	timer.time(PhaseSpider, func() {
+		res.INDs = ind.Spider(rel, opts.IND)
+	})
+
+	// DUCC with its own input pass and its own PLIs.
+	rel, err = load()
+	if err != nil {
+		return nil, err
+	}
+	timer.time(PhaseUCCDiscovery, func() {
+		p := pli.NewProvider(rel, opts.CacheEntries)
+		r := ucc.Ducc(p, opts.Seed)
+		res.UCCs = r.Minimal
+		res.Checks += r.Checks
+	})
+
+	// FUN with its own input pass and its own PLIs (FD output only; the
+	// baseline's UCCs come from DUCC).
+	rel, err = load()
+	if err != nil {
+		return nil, err
+	}
+	timer.time(PhaseFDDiscovery, func() {
+		p := pli.NewProvider(rel, opts.CacheEntries)
+		r := fd.Fun(p)
+		res.FDs = r.FDs
+		res.Checks += r.Checks
+	})
+
+	res.Phases = timer.phases
+	return res, nil
+}
+
+// RunFDFirst implements the "FDs first" holistic approach of paper
+// Sec. 3.1: SPIDER while reading, FUN for the minimal FDs, and the minimal
+// UCCs *inferred* from the FDs via Lemma 2 (closure-based key derivation)
+// instead of being discovered on the data. The paper rejects this approach
+// for the inference overhead; having it runnable makes that overhead
+// measurable (the "uccInference" phase).
+func RunFDFirst(src Source, opts Options) (*Result, error) {
+	res := &Result{}
+	timer := newPhaseTimer()
+	var rel *relation.Relation
+	var err error
+	timer.time(PhaseLoad, func() {
+		rel, err = src.Load()
+	})
+	if err != nil {
+		return nil, err
+	}
+	var store *fd.Store
+	timer.time(PhaseSpider, func() {
+		res.INDs = ind.Spider(rel, opts.IND)
+	})
+	timer.time(PhaseFDDiscovery, func() {
+		p := pli.NewProvider(rel, opts.CacheEntries)
+		r := fd.Fun(p)
+		res.FDs = r.FDs
+		res.Checks += r.Checks
+		store = fd.NewStore()
+		for _, f := range r.FDs {
+			store.Add(f.LHS, f.RHS)
+		}
+	})
+	timer.time(PhaseUCCInference, func() {
+		res.UCCs = store.DeriveUCCs(rel.AllColumns(), opts.Seed)
+	})
+	res.Phases = timer.phases
+	return res, nil
+}
+
+// RunTane runs the non-holistic TANE FD algorithm (Table 3's fourth
+// column). It discovers FDs only.
+func RunTane(src Source, opts Options) (*Result, error) {
+	res := &Result{}
+	timer := newPhaseTimer()
+	var rel *relation.Relation
+	var err error
+	timer.time(PhaseLoad, func() {
+		rel, err = src.Load()
+	})
+	if err != nil {
+		return nil, err
+	}
+	timer.time(PhaseFDDiscovery, func() {
+		p := pli.NewProvider(rel, opts.CacheEntries)
+		r := fd.Tane(p, false)
+		res.FDs = r.FDs
+		res.Checks += r.Checks
+	})
+	res.Phases = timer.phases
+	return res, nil
+}

@@ -1,0 +1,68 @@
+package core
+
+import (
+	"holistic/internal/bitset"
+	"holistic/internal/walker"
+)
+
+// This file implements the second FD phase of MUDS (paper Secs. 4.2 and
+// 5.2): FDs whose right-hand side lies in R \ Z, the columns outside every
+// minimal UCC. For each such right-hand side A one sub-lattice over R \ {A}
+// is traversed with the DUCC-style random walk; "X determines A" is a
+// monotone predicate, so downward pruning of non-FDs (Lemma 4) and upward
+// pruning of supersets of found left-hand sides both apply, and unvisited
+// holes are filled by the hitting-set duality — all provided by the shared
+// lattice walker.
+
+// calculateRZ discovers all minimal FDs with right-hand side in R \ Z.
+func (m *mudsFD) calculateRZ() {
+	rz := m.rzColumns()
+	for a := rz.First(); a >= 0; a = rz.NextAfter(a) {
+		m.walkRHS(a, nil, nil)
+	}
+}
+
+// walkRHS runs the sub-lattice walk for one right-hand side and emits the
+// minimal left-hand sides found. knownTrue/knownFalse seed the walk with
+// certificates (used by the completion sweep; nil for the plain R\Z phase).
+func (m *mudsFD) walkRHS(a int, knownTrue, knownFalse []bitset.Set) {
+	base := m.working.Without(a)
+	col := m.p.Relation().Column(a)
+	pred := func(s bitset.Set) bool {
+		// Known-FD pruning (paper Sec. 5.2): drop attributes of s that are
+		// determined by the rest of s before touching PLIs — the canonical
+		// set has the same closure, and its PLI is more likely cached.
+		return m.p.Get(m.canonicalLHS(s)).Refines(col)
+	}
+	res := walker.Run(base, pred, walker.Options{
+		Seed:       m.seed + int64(a)*7919,
+		KnownTrue:  knownTrue,
+		KnownFalse: knownFalse,
+	})
+	m.checks += res.Checks
+	for _, lhs := range res.MinimalTrue {
+		m.emit(lhs, a)
+	}
+}
+
+// canonicalLHS removes attributes from s that are functionally determined by
+// the remaining attributes according to already-emitted FDs ("the
+// combination of a left hand side with its right hand side can never be the
+// left hand side of an already known minimal FD", Sec. 5.2). The closure is
+// unchanged, so predicate values are preserved.
+func (m *mudsFD) canonicalLHS(s bitset.Set) bitset.Set {
+	for {
+		reduced := false
+		for b := s.First(); b >= 0; b = s.NextAfter(b) {
+			rest := s.Without(b)
+			if f, ok := m.perRHS[b]; ok && f.CoversSubsetOf(rest) {
+				s = rest
+				reduced = true
+				break
+			}
+		}
+		if !reduced {
+			return s
+		}
+	}
+}

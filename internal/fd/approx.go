@@ -1,0 +1,103 @@
+package fd
+
+import (
+	"fmt"
+	"sort"
+
+	"holistic/internal/bitset"
+	"holistic/internal/pli"
+	"holistic/internal/settrie"
+)
+
+// This file adds approximate ("soft") functional dependencies, the
+// dependency flavour the paper's related work attributes to CORDS (Sec. 7).
+// An FD X → A holds approximately with error g3(X → A) ≤ ε, where g3 is the
+// minimum fraction of rows that must be removed for the FD to hold exactly
+// (Huhtala et al.'s measure, computable directly from X's stripped
+// partition). ε = 0 coincides with exact FDs.
+
+// ApproxFD is a minimal approximate FD together with its g3 error.
+type ApproxFD struct {
+	LHS   bitset.Set
+	RHS   int
+	Error float64
+}
+
+// String formats the approximate FD with its error.
+func (f ApproxFD) String() string {
+	rhs := fmt.Sprintf("col%d", f.RHS)
+	if f.RHS < 26 {
+		rhs = string(rune('A' + f.RHS))
+	}
+	return fmt.Sprintf("%v → %s (g3=%.3f)", f.LHS, rhs, f.Error)
+}
+
+// G3 computes the g3 error of lhs → rhs: the fraction of rows outside the
+// per-cluster majority classes of rhs within lhs's partition.
+func G3(p *pli.Provider, lhs bitset.Set, rhs int) float64 {
+	rel := p.Relation()
+	if rel.NumRows() == 0 || lhs.Has(rhs) {
+		return 0
+	}
+	col := rel.Column(rhs)
+	violations := 0
+	counts := make(map[int32]int)
+	for _, cluster := range p.Get(lhs).Clusters() {
+		for _, row := range cluster {
+			counts[col[row]]++
+		}
+		best := 0
+		for _, n := range counts {
+			if n > best {
+				best = n
+			}
+		}
+		violations += len(cluster) - best
+		for k := range counts {
+			delete(counts, k)
+		}
+	}
+	return float64(violations) / float64(rel.NumRows())
+}
+
+// ApproximateFDs discovers all minimal approximate FDs with g3 error ≤ eps,
+// level-wise per right-hand side with superset pruning (approximate FDs are
+// upward closed in the left-hand side: refining a partition never increases
+// g3). maxLHS bounds the left-hand-side size (0 = unbounded).
+func ApproximateFDs(p *pli.Provider, eps float64, maxLHS int) []ApproxFD {
+	rel := p.Relation()
+	n := rel.NumColumns()
+	if maxLHS <= 0 || maxLHS > n-1 {
+		maxLHS = n - 1
+	}
+	var out []ApproxFD
+
+	for a := 0; a < n; a++ {
+		// Constant-ish columns: the empty lhs may already satisfy eps.
+		if g := G3(p, bitset.Set{}, a); g <= eps {
+			out = append(out, ApproxFD{LHS: bitset.Set{}, RHS: a, Error: g})
+			continue
+		}
+		base := bitset.Full(n).Without(a)
+		var found settrie.MinimalFamily
+		for k := 1; k <= maxLHS; k++ {
+			base.SubsetsOfSize(k, func(lhs bitset.Set) bool {
+				if found.CoversSubsetOf(lhs) {
+					return true // a smaller approximate lhs exists
+				}
+				if g := G3(p, lhs, a); g <= eps {
+					found.Add(lhs)
+					out = append(out, ApproxFD{LHS: lhs, RHS: a, Error: g})
+				}
+				return true
+			})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].RHS != out[j].RHS {
+			return out[i].RHS < out[j].RHS
+		}
+		return bitset.Less(out[i].LHS, out[j].LHS)
+	})
+	return out
+}

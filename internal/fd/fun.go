@@ -1,0 +1,172 @@
+package fd
+
+import (
+	"holistic/internal/bitset"
+	"holistic/internal/pli"
+	"holistic/internal/settrie"
+)
+
+// Fun discovers all minimal FDs with the FUN strategy (Novelli/Cicchetti,
+// paper Sec. 2.3): a level-wise traversal restricted to free sets, with
+// cardinality counts instead of stored partitions for validity checks, FUN's
+// recursive cardinality inference for non-free sets (the "fast counting
+// inference" that lets FUN skip PLI intersections TANE would perform), and
+// key pruning.
+//
+// Fun always returns the minimal UCCs it traverses: by Lemma 3 of the paper
+// every minimal UCC is a free set, so collecting keys costs nothing extra.
+// This is exactly the Holistic FUN extension of paper Sec. 3.2.
+func Fun(p *pli.Provider) Result {
+	var res Result
+	rel := p.Relation()
+	n := rel.NumColumns()
+	store := NewStore()
+
+	constants := ConstantColumns(p)
+	constants.ForEach(func(a int) { store.Add(bitset.Set{}, a) })
+	working := bitset.Full(n).Diff(constants)
+
+	if rel.NumRows() <= 1 {
+		// Degenerate relations: every column is constant (so all FDs are
+		// ∅ → A, already emitted) and every single column is trivially a
+		// minimal UCC.
+		for c := 0; c < n; c++ {
+			res.MinimalUCCs = append(res.MinimalUCCs, bitset.Single(c))
+		}
+	} else if !working.IsEmpty() {
+		f := &funState{
+			p:       p,
+			working: working,
+			nRows:   rel.NumRows(),
+			counts:  map[bitset.Set]int{{}: 1},
+			store:   store,
+			res:     &res,
+		}
+		f.run()
+		res.MinimalUCCs = f.keys.All()
+	}
+
+	res.FDs = store.All()
+	bitset.Sort(res.MinimalUCCs)
+	return res
+}
+
+type funState struct {
+	p       *pli.Provider
+	working bitset.Set
+	nRows   int
+
+	// counts holds |X|_r for every computed set: all free sets and the
+	// non-free "boundary" candidates classified during generation. Counts of
+	// other sets are inferred (FUN's cardinality inference) and memoised.
+	counts map[bitset.Set]int
+	// keys holds the minimal UCCs (free sets with count == nRows).
+	keys settrie.MinimalFamily
+
+	store *Store
+	res   *Result
+}
+
+func (f *funState) run() {
+	// Level 1: every non-constant single column is a free set.
+	var level []bitset.Set
+	f.working.ForEach(func(c int) {
+		s := bitset.Single(c)
+		f.counts[s] = f.p.Relation().Cardinality(c)
+		level = append(level, s)
+	})
+
+	for len(level) > 0 {
+		// Classify keys, then generate and count the next level, and only
+		// then emit this level's FDs: the validity check of x → a needs the
+		// true cardinality of x ∪ {a}, which for a free x ∪ {a} exists only
+		// after the next level is counted (cardinality inference is valid
+		// for non-free sets exclusively).
+		var expandable []bitset.Set
+		for _, x := range level {
+			if f.counts[x] == f.nRows {
+				f.keys.Add(x) // minimal UCC (Lemma 3); supersets are non-free
+				continue
+			}
+			expandable = append(expandable, x)
+		}
+
+		var next []bitset.Set
+		for _, cand := range bitset.AprioriGen(expandable) {
+			if f.keys.CoversSubsetOf(cand) {
+				// Key pruning: supersets of keys have count nRows and are
+				// non-free; no PLI work needed.
+				f.counts[cand] = f.nRows
+				continue
+			}
+			f.res.Checks++
+			cnt := f.p.Cardinality(cand)
+			f.counts[cand] = cnt
+			if f.isFree(cand, cnt) {
+				next = append(next, cand)
+			}
+		}
+
+		for _, x := range level {
+			f.emitFDs(x)
+		}
+		level = next
+	}
+}
+
+// isFree reports whether x with cardinality cnt is a free set: no direct
+// subset has the same cardinality (Definition 1; checking direct subsets
+// suffices because counts are monotone).
+func (f *funState) isFree(x bitset.Set, cnt int) bool {
+	for _, sub := range x.DirectSubsets() {
+		if f.counts[sub] == cnt {
+			return false
+		}
+	}
+	return true
+}
+
+// emitFDs outputs every minimal FD x → a for the free set x: x → a holds
+// iff |x| = |x ∪ {a}| (Lemma 1), and it is minimal iff no direct subset of
+// x also determines a.
+func (f *funState) emitFDs(x bitset.Set) {
+	cntX := f.counts[x]
+	rhs := f.working.Diff(x)
+	for a := rhs.First(); a >= 0; a = rhs.NextAfter(a) {
+		if f.count(x.With(a)) != cntX {
+			continue
+		}
+		minimal := true
+		for _, sub := range x.DirectSubsets() {
+			if f.count(sub.With(a)) == f.counts[sub] {
+				minimal = false // sub → a already holds
+				break
+			}
+		}
+		if minimal {
+			f.store.Add(x, a)
+		}
+	}
+}
+
+// count returns |y|_r, inferring it for sets that were never computed: a
+// non-free set has the cardinality of its largest direct subset (FUN's
+// cardinality inference), and supersets of keys have nRows rows. Inferred
+// values are memoised.
+func (f *funState) count(y bitset.Set) int {
+	if c, ok := f.counts[y]; ok {
+		return c
+	}
+	if f.keys.CoversSubsetOf(y) {
+		f.counts[y] = f.nRows
+		return f.nRows
+	}
+	max := 0
+	for _, sub := range y.DirectSubsets() {
+		if c := f.count(sub); c > max {
+			max = c
+		}
+	}
+	f.counts[y] = max
+	return max
+}

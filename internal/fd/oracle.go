@@ -1,0 +1,68 @@
+package fd
+
+import (
+	"holistic/internal/bitset"
+	"holistic/internal/pli"
+	"holistic/internal/settrie"
+)
+
+// BruteForce computes all minimal FDs by explicit row grouping, independent
+// of the PLI machinery. It enumerates, per right-hand side, the left-hand
+// side lattice level-wise and skips supersets of found left-hand sides. It
+// is the test oracle for TANE, FUN and MUDS; complexity is exponential, so
+// callers keep relations small.
+func BruteForce(p *pli.Provider) []FD {
+	rel := p.Relation()
+	n := rel.NumColumns()
+	var out []FD
+
+	constants := ConstantColumns(p)
+	constants.ForEach(func(a int) {
+		out = append(out, FD{LHS: bitset.Set{}, RHS: a})
+	})
+	working := bitset.Full(n).Diff(constants)
+
+	working.ForEach(func(a int) {
+		base := working.Without(a)
+		var found settrie.MinimalFamily
+		for k := 1; k <= base.Len(); k++ {
+			base.SubsetsOfSize(k, func(lhs bitset.Set) bool {
+				if found.CoversSubsetOf(lhs) {
+					return true // a smaller lhs already determines a
+				}
+				if bruteHolds(p, lhs, a) {
+					found.Add(lhs)
+					out = append(out, FD{LHS: lhs, RHS: a})
+				}
+				return true
+			})
+		}
+	})
+	Sort(out)
+	return out
+}
+
+// bruteHolds checks lhs → a by grouping rows on the lhs values and verifying
+// the a-value is constant within every group.
+func bruteHolds(p *pli.Provider, lhs bitset.Set, a int) bool {
+	rel := p.Relation()
+	cols := lhs.Columns()
+	colA := rel.Column(a)
+	groups := make(map[string]int32, rel.NumRows())
+	key := make([]byte, 0, 8*len(cols))
+	for row := 0; row < rel.NumRows(); row++ {
+		key = key[:0]
+		for _, c := range cols {
+			v := rel.Column(c)[row]
+			key = append(key, byte(v), byte(v>>8), byte(v>>16), byte(v>>24), '|')
+		}
+		if prev, ok := groups[string(key)]; ok {
+			if prev != colA[row] {
+				return false
+			}
+		} else {
+			groups[string(key)] = colA[row]
+		}
+	}
+	return true
+}

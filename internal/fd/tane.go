@@ -1,0 +1,140 @@
+package fd
+
+import (
+	"holistic/internal/bitset"
+	"holistic/internal/pli"
+)
+
+// Tane discovers all minimal FDs with the TANE algorithm (Huhtala et al.,
+// referenced as the most popular FD algorithm in paper Sec. 2.3/6.3): a
+// level-wise bottom-up traversal of the attribute lattice with rhs-candidate
+// sets C+ for minimality pruning, partition refinement for validity checks,
+// and key pruning.
+//
+// When collectUCCs is set, the keys encountered during pruning are returned
+// as minimal UCCs. Note that TANE's C+ pruning may cut lattice regions that
+// contain further minimal UCCs, so this collection is diagnostic only; the
+// holistic algorithms use DUCC or FUN for complete UCC results.
+func Tane(p *pli.Provider, collectUCCs bool) Result {
+	var res Result
+	rel := p.Relation()
+	n := rel.NumColumns()
+	store := NewStore()
+
+	constants := ConstantColumns(p)
+	constants.ForEach(func(a int) { store.Add(bitset.Set{}, a) })
+	working := bitset.Full(n).Diff(constants)
+
+	if !working.IsEmpty() {
+		t := &taneState{
+			p:           p,
+			working:     working,
+			cplus:       make(map[bitset.Set]bitset.Set),
+			store:       store,
+			res:         &res,
+			collectUCCs: collectUCCs,
+		}
+		t.run()
+	}
+
+	res.FDs = store.All()
+	bitset.Sort(res.MinimalUCCs)
+	return res
+}
+
+type taneState struct {
+	p       *pli.Provider
+	working bitset.Set
+
+	// cplus holds the rhs-candidate sets C+(X) of every set processed so
+	// far, plus on-demand reconstructions for sets that key pruning removed
+	// before they were generated (C+(Y) = ⋂_{B∈Y} C+(Y\{B}), the TANE
+	// paper's recomputation rule for pruned sets).
+	cplus map[bitset.Set]bitset.Set
+
+	store       *Store
+	res         *Result
+	collectUCCs bool
+}
+
+func (t *taneState) run() {
+	var level []bitset.Set
+	t.working.ForEach(func(c int) { level = append(level, bitset.Single(c)) })
+
+	for len(level) > 0 {
+		// COMPUTE_DEPENDENCIES: candidate rhs sets and validity checks.
+		for _, x := range level {
+			c := t.working
+			for _, sub := range x.DirectSubsets() {
+				c = c.Intersect(t.cplusOf(sub))
+			}
+			candidates := x.Intersect(c)
+			for a := candidates.First(); a >= 0; a = candidates.NextAfter(a) {
+				lhs := x.Without(a)
+				t.res.Checks++
+				if t.p.Cardinality(lhs) == t.p.Cardinality(x) {
+					t.store.Add(lhs, a)
+					c = c.Without(a)
+					c = c.Diff(t.working.Diff(x)) // remove all B ∈ R \ X
+				}
+			}
+			t.cplus[x] = c
+		}
+
+		// PRUNE: drop empty-C+ nodes and keys; key pruning may emit FDs.
+		var remaining []bitset.Set
+		for _, x := range level {
+			if t.cplus[x].IsEmpty() {
+				continue
+			}
+			if t.p.IsUnique(x) {
+				t.handleKey(x)
+				continue
+			}
+			remaining = append(remaining, x)
+		}
+
+		level = bitset.AprioriGen(remaining)
+	}
+}
+
+// cplusOf returns C+(y), reconstructing it recursively when y was never
+// generated because key pruning removed one of its subsets from the lattice.
+func (t *taneState) cplusOf(y bitset.Set) bitset.Set {
+	if y.IsEmpty() {
+		return t.working // C+(∅) = R
+	}
+	if c, ok := t.cplus[y]; ok {
+		return c
+	}
+	c := t.working
+	for _, sub := range y.DirectSubsets() {
+		c = c.Intersect(t.cplusOf(sub))
+	}
+	t.cplus[y] = c
+	return c
+}
+
+// handleKey applies TANE's key pruning to the superkey x: x is removed from
+// the level, and x → A is output for every A ∈ C+(x) \ x that is in the C+
+// of every other co-atom of x ∪ {A} (which certifies minimality).
+func (t *taneState) handleKey(x bitset.Set) {
+	if t.collectUCCs {
+		// A key that survived into the level has only non-key subsets,
+		// making it a minimal UCC (within the lattice region C+ kept).
+		t.res.MinimalUCCs = append(t.res.MinimalUCCs, x)
+	}
+	extra := t.cplus[x].Diff(x)
+	for a := extra.First(); a >= 0; a = extra.NextAfter(a) {
+		ok := true
+		for b := x.First(); b >= 0; b = x.NextAfter(b) {
+			if !t.cplusOf(x.With(a).Without(b)).Has(a) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			t.store.Add(x, a)
+		}
+	}
+}

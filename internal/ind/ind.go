@@ -1,0 +1,100 @@
+// Package ind implements unary inclusion dependency discovery: the SPIDER
+// algorithm (paper Sec. 2.1) and a De-Marchi-style inverted-index baseline.
+//
+// Both algorithms operate on the shared relation substrate; SPIDER consumes
+// the duplicate-free sorted value lists that fall out of the dictionary
+// encoding, which is exactly the I/O-sharing the holistic approach exploits
+// (paper Sec. 3: "PLIs map values to positions so that Spider can retrieve
+// duplicate-free value lists").
+package ind
+
+import (
+	"fmt"
+	"sort"
+)
+
+// IND is a unary inclusion dependency: every value of column Dependent also
+// occurs in column Referenced.
+type IND struct {
+	Dependent  int
+	Referenced int
+}
+
+// String formats the IND with letter column names (A ⊆ B style).
+func (d IND) String() string {
+	return fmt.Sprintf("%s ⊆ %s", columnLabel(d.Dependent), columnLabel(d.Referenced))
+}
+
+func columnLabel(c int) string {
+	if c < 26 {
+		return string(rune('A' + c))
+	}
+	return fmt.Sprintf("col%d", c)
+}
+
+// Options configures IND discovery.
+type Options struct {
+	// IgnoreNulls excludes NULL (empty) values from containment checks, so a
+	// NULL on the dependent side does not require a NULL on the referenced
+	// side.
+	IgnoreNulls bool
+}
+
+// Sort orders INDs by (dependent, referenced) for deterministic output.
+func Sort(inds []IND) {
+	sort.Slice(inds, func(i, j int) bool {
+		if inds[i].Dependent != inds[j].Dependent {
+			return inds[i].Dependent < inds[j].Dependent
+		}
+		return inds[i].Referenced < inds[j].Referenced
+	})
+}
+
+// candidateSets tracks, per column, which columns may still reference it.
+type candidateSets struct {
+	refs    []map[int]bool // refs[a] = columns that may still contain all of a
+	pending int            // total remaining candidate pairs
+}
+
+func newCandidateSets(n int) *candidateSets {
+	cs := &candidateSets{refs: make([]map[int]bool, n)}
+	for a := 0; a < n; a++ {
+		cs.refs[a] = make(map[int]bool, n-1)
+		for b := 0; b < n; b++ {
+			if a != b {
+				cs.refs[a][b] = true
+				cs.pending++
+			}
+		}
+	}
+	return cs
+}
+
+// restrict intersects the candidates of every attribute in group with group:
+// the attributes of group exclusively contain the current value, so an
+// attribute of group can only be included in other attributes of group.
+func (cs *candidateSets) restrict(group []int) {
+	inGroup := make(map[int]bool, len(group))
+	for _, a := range group {
+		inGroup[a] = true
+	}
+	for _, a := range group {
+		for b := range cs.refs[a] {
+			if !inGroup[b] {
+				delete(cs.refs[a], b)
+				cs.pending--
+			}
+		}
+	}
+}
+
+func (cs *candidateSets) results() []IND {
+	var out []IND
+	for a, set := range cs.refs {
+		for b := range set {
+			out = append(out, IND{Dependent: a, Referenced: b})
+		}
+	}
+	Sort(out)
+	return out
+}

@@ -1,0 +1,32 @@
+package ind
+
+import "holistic/internal/relation"
+
+// InvertedIndex discovers all unary INDs with the De Marchi et al. approach
+// (paper Sec. 7): an inverted index from each value to the set of columns
+// containing it; the candidate set of every column is intersected with the
+// column group of each of its values. It serves as the pre-SPIDER baseline
+// in the evaluation harness.
+func InvertedIndex(rel *relation.Relation, opts Options) []IND {
+	n := rel.NumColumns()
+	if n == 0 {
+		return nil
+	}
+	index := make(map[string][]int)
+	for c := 0; c < n; c++ {
+		for _, v := range rel.DistinctValues(c) {
+			if opts.IgnoreNulls && v == relation.NullValue {
+				continue
+			}
+			index[v] = append(index[v], c)
+		}
+	}
+	cs := newCandidateSets(n)
+	for _, group := range index {
+		if cs.pending == 0 {
+			break
+		}
+		cs.restrict(group)
+	}
+	return cs.results()
+}

@@ -1,0 +1,244 @@
+package ind
+
+import (
+	"sort"
+	"strings"
+
+	"holistic/internal/relation"
+)
+
+// This file implements n-ary IND discovery as a MIND-style level-wise
+// extension on top of SPIDER's unary results. The paper restricts the
+// holistic algorithm to unary INDs ("without any loss of generality, we
+// could discover n-ary INDs as well, but these would not contribute to the
+// holistic discovery", Sec. 2.1); the extension is provided for library
+// completeness.
+
+// NaryIND is an inclusion dependency between attribute sequences: the
+// projection on Dependent is contained in the projection on Referenced.
+// Both sides have the same length; positions correspond pairwise.
+type NaryIND struct {
+	Dependent  []int
+	Referenced []int
+}
+
+// String formats the IND as "[A B] ⊆ [C D]" with letter column names.
+func (d NaryIND) String() string {
+	label := func(cols []int) string {
+		parts := make([]string, len(cols))
+		for i, c := range cols {
+			parts[i] = columnLabel(c)
+		}
+		return "[" + strings.Join(parts, " ") + "]"
+	}
+	return label(d.Dependent) + " ⊆ " + label(d.Referenced)
+}
+
+// SortNary orders n-ary INDs lexicographically for deterministic output.
+func SortNary(inds []NaryIND) {
+	key := func(d NaryIND) string {
+		var b strings.Builder
+		for _, c := range d.Dependent {
+			b.WriteByte(byte(c))
+		}
+		b.WriteByte(0xff)
+		for _, c := range d.Referenced {
+			b.WriteByte(byte(c))
+		}
+		return b.String()
+	}
+	sort.Slice(inds, func(i, j int) bool { return key(inds[i]) < key(inds[j]) })
+}
+
+// Nary discovers all n-ary INDs up to maxArity (inclusive) within the
+// relation, using the apriori property that every projection of a valid
+// n-ary IND onto corresponding position pairs is a valid (n-1)-ary IND.
+// Level 1 comes from Spider; higher levels are generated MIND-style and
+// validated by set containment over concatenated values. maxArity < 1
+// means no limit (bounded by the column count). Results are grouped by
+// arity in ascending order.
+//
+// Only INDs with pairwise-distinct attributes on each side and disjoint
+// position pairs are reported, and permutations of position pairs are
+// canonicalised (the dependent side is kept sorted), following the common
+// convention of n-ary IND discovery.
+func Nary(rel *relation.Relation, opts Options, maxArity int) []NaryIND {
+	if maxArity < 1 || maxArity > rel.NumColumns() {
+		maxArity = rel.NumColumns()
+	}
+	unary := Spider(rel, opts)
+	level := make([]NaryIND, 0, len(unary)+rel.NumColumns())
+	for _, d := range unary {
+		level = append(level, NaryIND{Dependent: []int{d.Dependent}, Referenced: []int{d.Referenced}})
+	}
+	// Reflexive pairs [c] ⊆ [c] are trivially valid and never reported, but
+	// they are necessary building blocks: [A,B] ⊆ [A,D] projects onto the
+	// reflexive [A] ⊆ [A] when the B/D pair is dropped.
+	for c := 0; c < rel.NumColumns(); c++ {
+		level = append(level, NaryIND{Dependent: []int{c}, Referenced: []int{c}})
+	}
+	SortNary(level)
+
+	out := make([]NaryIND, 0, len(unary))
+	for _, d := range level {
+		if !allReflexive(d) {
+			out = append(out, d)
+		}
+	}
+
+	valid := map[string]bool{}
+	for _, d := range level {
+		valid[pairKey(d)] = true
+	}
+
+	for arity := 2; arity <= maxArity && len(level) > 0; arity++ {
+		var next []NaryIND
+		seen := map[string]bool{}
+		for i := 0; i < len(level); i++ {
+			for j := 0; j < len(level); j++ {
+				cand, ok := merge(level[i], level[j])
+				if !ok {
+					continue
+				}
+				k := pairKey(cand)
+				if seen[k] {
+					continue
+				}
+				seen[k] = true
+				if !allProjectionsValid(cand, valid) {
+					continue
+				}
+				if allReflexive(cand) || checkNary(rel, cand, opts) {
+					next = append(next, cand)
+					valid[k] = true
+				}
+			}
+		}
+		SortNary(next)
+		for _, d := range next {
+			if !allReflexive(d) {
+				out = append(out, d)
+			}
+		}
+		level = next
+	}
+	return out
+}
+
+// allReflexive reports whether every position pair maps a column to itself
+// (the trivial IND X ⊆ X).
+func allReflexive(d NaryIND) bool {
+	for i := range d.Dependent {
+		if d.Dependent[i] != d.Referenced[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// merge combines two (n-1)-ary INDs sharing all but the last position pair
+// into an n-ary candidate, keeping the dependent side strictly sorted.
+func merge(a, b NaryIND) (NaryIND, bool) {
+	n := len(a.Dependent)
+	for i := 0; i < n-1; i++ {
+		if a.Dependent[i] != b.Dependent[i] || a.Referenced[i] != b.Referenced[i] {
+			return NaryIND{}, false
+		}
+	}
+	lastA, lastB := a.Dependent[n-1], b.Dependent[n-1]
+	if lastA >= lastB {
+		return NaryIND{}, false // keep dependent side strictly increasing
+	}
+	refA, refB := a.Referenced[n-1], b.Referenced[n-1]
+	if refA == refB {
+		return NaryIND{}, false // referenced attributes must be distinct
+	}
+	cand := NaryIND{
+		Dependent:  append(append([]int(nil), a.Dependent...), lastB),
+		Referenced: append(append([]int(nil), a.Referenced...), refB),
+	}
+	// Attributes within each side must be pairwise distinct. Fully
+	// reflexive candidates are kept as generation building blocks and
+	// filtered from the output by the caller.
+	if hasDuplicate(cand.Dependent) || hasDuplicate(cand.Referenced) {
+		return NaryIND{}, false
+	}
+	return cand, true
+}
+
+func hasDuplicate(cols []int) bool {
+	seen := map[int]bool{}
+	for _, c := range cols {
+		if seen[c] {
+			return true
+		}
+		seen[c] = true
+	}
+	return false
+}
+
+// allProjectionsValid applies the apriori pruning: dropping any position
+// pair from a valid IND must leave a valid IND.
+func allProjectionsValid(cand NaryIND, valid map[string]bool) bool {
+	n := len(cand.Dependent)
+	dep := make([]int, 0, n-1)
+	ref := make([]int, 0, n-1)
+	for drop := 0; drop < n; drop++ {
+		dep, ref = dep[:0], ref[:0]
+		for i := 0; i < n; i++ {
+			if i != drop {
+				dep = append(dep, cand.Dependent[i])
+				ref = append(ref, cand.Referenced[i])
+			}
+		}
+		if !valid[pairKeyOf(dep, ref)] {
+			return false
+		}
+	}
+	return true
+}
+
+func pairKey(d NaryIND) string { return pairKeyOf(d.Dependent, d.Referenced) }
+
+func pairKeyOf(dep, ref []int) string {
+	var b strings.Builder
+	for i := range dep {
+		b.WriteByte(byte(dep[i]))
+		b.WriteByte(byte(ref[i]))
+	}
+	return b.String()
+}
+
+// checkNary validates the candidate by materialised set containment of the
+// value tuples.
+func checkNary(rel *relation.Relation, cand NaryIND, opts Options) bool {
+	referenced := make(map[string]bool, rel.NumRows())
+	var b strings.Builder
+	tuple := func(cols []int, row int) (string, bool) {
+		b.Reset()
+		for _, c := range cols {
+			v := rel.Value(row, c)
+			if opts.IgnoreNulls && v == relation.NullValue {
+				return "", false
+			}
+			b.WriteString(v)
+			b.WriteByte(0)
+		}
+		return b.String(), true
+	}
+	for row := 0; row < rel.NumRows(); row++ {
+		if t, ok := tuple(cand.Referenced, row); ok {
+			referenced[t] = true
+		}
+	}
+	for row := 0; row < rel.NumRows(); row++ {
+		t, ok := tuple(cand.Dependent, row)
+		if !ok {
+			continue
+		}
+		if !referenced[t] {
+			return false
+		}
+	}
+	return true
+}

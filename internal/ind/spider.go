@@ -1,0 +1,105 @@
+package ind
+
+import (
+	"container/heap"
+
+	"holistic/internal/relation"
+)
+
+// Spider discovers all unary INDs of the relation with the SPIDER algorithm:
+// a sorting phase (duplicate-free sorted value lists per column, provided by
+// the relation substrate) followed by a cooperative merge phase that
+// invalidates candidates by intersecting the attribute group of every value
+// (paper Sec. 2.1, Table 1).
+func Spider(rel *relation.Relation, opts Options) []IND {
+	n := rel.NumColumns()
+	if n == 0 {
+		return nil
+	}
+	cs := newCandidateSets(n)
+
+	// Cursors over the sorted duplicate-free value lists.
+	h := &cursorHeap{}
+	for c := 0; c < n; c++ {
+		cur := &cursor{col: c, values: rel.SortedDistinctValues(c)}
+		if opts.IgnoreNulls {
+			cur.skipNulls()
+		}
+		if !cur.done() {
+			h.items = append(h.items, cur)
+		}
+	}
+	heap.Init(h)
+
+	group := make([]int, 0, n)
+	for h.Len() > 0 && cs.pending > 0 {
+		// Pop every cursor whose current value equals the minimum: these
+		// attributes exclusively contain the value.
+		minVal := h.items[0].current()
+		group = group[:0]
+		popped := popEqual(h, minVal, &group)
+		cs.restrict(group)
+		// Advance the popped cursors and push back the unfinished ones.
+		for _, cur := range popped {
+			cur.advance()
+			if opts.IgnoreNulls {
+				cur.skipNulls()
+			}
+			if !cur.done() {
+				heap.Push(h, cur)
+			}
+		}
+	}
+	// Columns whose lists were exhausted while others still hold values need
+	// no further invalidation: the remaining values only shrink candidate
+	// sets of columns that contain them, and exhausted columns are not in
+	// those groups, so their candidate sets are final. But columns still
+	// holding values cannot depend on exhausted columns; pending>0 exits the
+	// loop early only when every candidate set is already empty, so no
+	// correction is needed here.
+	return cs.results()
+}
+
+type cursor struct {
+	col    int
+	values []string
+	pos    int
+}
+
+func (c *cursor) current() string { return c.values[c.pos] }
+func (c *cursor) done() bool      { return c.pos >= len(c.values) }
+func (c *cursor) advance()        { c.pos++ }
+
+func (c *cursor) skipNulls() {
+	for !c.done() && c.current() == relation.NullValue {
+		c.pos++
+	}
+}
+
+type cursorHeap struct {
+	items []*cursor
+}
+
+func (h *cursorHeap) Len() int { return len(h.items) }
+func (h *cursorHeap) Less(i, j int) bool {
+	return h.items[i].current() < h.items[j].current()
+}
+func (h *cursorHeap) Swap(i, j int) { h.items[i], h.items[j] = h.items[j], h.items[i] }
+func (h *cursorHeap) Push(x any)    { h.items = append(h.items, x.(*cursor)) }
+func (h *cursorHeap) Pop() any {
+	last := h.items[len(h.items)-1]
+	h.items = h.items[:len(h.items)-1]
+	return last
+}
+
+// popEqual removes every cursor positioned at value v from the heap, records
+// the column group, and returns the popped cursors.
+func popEqual(h *cursorHeap, v string, group *[]int) []*cursor {
+	var popped []*cursor
+	for h.Len() > 0 && h.items[0].current() == v {
+		cur := heap.Pop(h).(*cursor)
+		*group = append(*group, cur.col)
+		popped = append(popped, cur)
+	}
+	return popped
+}

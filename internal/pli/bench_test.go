@@ -1,0 +1,79 @@
+package pli
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"holistic/internal/bitset"
+	"holistic/internal/relation"
+)
+
+func benchRelation(rows, cols, card int) *relation.Relation {
+	rnd := rand.New(rand.NewSource(1))
+	names := make([]string, cols)
+	for i := range names {
+		names[i] = fmt.Sprintf("c%d", i)
+	}
+	data := make([][]string, rows)
+	for i := range data {
+		row := make([]string, cols)
+		for c := range row {
+			row[c] = fmt.Sprint(rnd.Intn(card))
+		}
+		data[i] = row
+	}
+	return relation.MustNew("bench", names, data)
+}
+
+// BenchmarkIntersect measures the probe-table PLI intersection, the
+// operation the paper identifies as the primary cost of FD checks.
+func BenchmarkIntersect(b *testing.B) {
+	rel := benchRelation(50000, 3, 100)
+	a := FromColumn(rel.Column(0), rel.Cardinality(0))
+	c := FromColumn(rel.Column(1), rel.Cardinality(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if a.Intersect(c).NumRows() != rel.NumRows() {
+			b.Fatal("bad result")
+		}
+	}
+}
+
+// BenchmarkIntersectColumn measures the column-variant intersection used on
+// lattice walks.
+func BenchmarkIntersectColumn(b *testing.B) {
+	rel := benchRelation(50000, 3, 100)
+	a := FromColumn(rel.Column(0), rel.Cardinality(0))
+	col := rel.Column(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if a.IntersectColumn(col).NumRows() != rel.NumRows() {
+			b.Fatal("bad result")
+		}
+	}
+}
+
+// BenchmarkRefines measures the partition-refinement FD check (Lemma 1).
+func BenchmarkRefines(b *testing.B) {
+	rel := benchRelation(50000, 3, 100)
+	a := FromColumn(rel.Column(0), rel.Cardinality(0))
+	col := rel.Column(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.Refines(col)
+	}
+}
+
+// BenchmarkProviderGet measures cached multi-column PLI retrieval.
+func BenchmarkProviderGet(b *testing.B) {
+	rel := benchRelation(20000, 6, 50)
+	p := NewProvider(rel, 0)
+	sets := []bitset.Set{
+		bitset.New(0, 1), bitset.New(1, 2, 3), bitset.New(0, 2, 4), bitset.New(3, 4, 5),
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Get(sets[i%len(sets)])
+	}
+}

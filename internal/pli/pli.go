@@ -1,0 +1,204 @@
+// Package pli implements position list indexes (PLIs, also called stripped
+// partitions), the data structure underlying UCC and FD validation in DUCC,
+// TANE, FUN and MUDS (paper Sec. 2.2/2.3).
+//
+// A PLI of a column combination X is the list of row-id clusters such that
+// all rows of a cluster agree on X; clusters of size one are stripped. An
+// empty PLI therefore means X is a unique column combination, and the FD
+// X → A holds iff every cluster of X's PLI is value-constant in column A
+// (partition refinement, Lemma 1).
+package pli
+
+// PLI is a stripped partition of a relation's rows. The zero value is not
+// useful; construct PLIs with FromColumn, FromAllRows, Intersect, or
+// IntersectColumn.
+type PLI struct {
+	clusters [][]int32
+	nRows    int
+}
+
+// FromColumn builds the PLI of a single dictionary-encoded column.
+// cardinality is the number of distinct codes (the dictionary size).
+func FromColumn(col []int32, cardinality int) *PLI {
+	buckets := make([][]int32, cardinality)
+	for row, code := range col {
+		buckets[code] = append(buckets[code], int32(row))
+	}
+	p := &PLI{nRows: len(col)}
+	for _, b := range buckets {
+		if len(b) >= 2 {
+			p.clusters = append(p.clusters, b)
+		}
+	}
+	return p
+}
+
+// FromAllRows builds the PLI of the empty column combination: a single
+// cluster containing every row (every row agrees on zero columns).
+func FromAllRows(nRows int) *PLI {
+	p := &PLI{nRows: nRows}
+	if nRows >= 2 {
+		all := make([]int32, nRows)
+		for i := range all {
+			all[i] = int32(i)
+		}
+		p.clusters = [][]int32{all}
+	}
+	return p
+}
+
+// FromClusters builds a PLI from explicit clusters, stripping singletons.
+// It is intended for tests and for reconstructing PLIs from raw partitions.
+func FromClusters(nRows int, clusters [][]int32) *PLI {
+	p := &PLI{nRows: nRows}
+	for _, c := range clusters {
+		if len(c) >= 2 {
+			p.clusters = append(p.clusters, append([]int32(nil), c...))
+		}
+	}
+	return p
+}
+
+// NumRows returns the row count of the relation the PLI belongs to.
+func (p *PLI) NumRows() int { return p.nRows }
+
+// NumClusters returns the number of (stripped) clusters.
+func (p *PLI) NumClusters() int { return len(p.clusters) }
+
+// Clusters exposes the clusters (not a copy; callers must not modify).
+func (p *PLI) Clusters() [][]int32 { return p.clusters }
+
+// IsUnique reports whether the underlying column combination is a UCC:
+// a stripped partition with no clusters has only unique values.
+func (p *PLI) IsUnique() bool { return len(p.clusters) == 0 }
+
+// ErrorSum returns sum(|cluster| - 1), the number of "redundant" rows. Two
+// PLIs over the same rows have equal distinct counts iff their error sums are
+// equal, which is how partition refinement (Lemma 1) is tested cheaply.
+func (p *PLI) ErrorSum() int {
+	e := 0
+	for _, c := range p.clusters {
+		e += len(c) - 1
+	}
+	return e
+}
+
+// DistinctCount returns the number of distinct value combinations, i.e. the
+// cardinality |X|_r used by FUN's free-set classification.
+func (p *PLI) DistinctCount() int { return p.nRows - p.ErrorSum() }
+
+// Intersect returns the PLI of X ∪ Y given the PLIs of X and Y, using the
+// standard probe-table algorithm: rows are keyed by their cluster in p and
+// grouped within the clusters of q.
+func (p *PLI) Intersect(q *PLI) *PLI {
+	probe := make([]int32, p.nRows)
+	for i := range probe {
+		probe[i] = -1
+	}
+	for ci, cluster := range p.clusters {
+		for _, row := range cluster {
+			probe[row] = int32(ci)
+		}
+	}
+	out := &PLI{nRows: p.nRows}
+	groups := make(map[int32][]int32)
+	for _, cluster := range q.clusters {
+		for _, row := range cluster {
+			pc := probe[row]
+			if pc < 0 {
+				continue // singleton in p → singleton in the intersection
+			}
+			groups[pc] = append(groups[pc], row)
+		}
+		for pc, g := range groups {
+			if len(g) >= 2 {
+				out.clusters = append(out.clusters, append([]int32(nil), g...))
+			}
+			delete(groups, pc)
+		}
+	}
+	return out
+}
+
+// IntersectColumn returns the PLI of X ∪ {A} given the PLI of X and the
+// dictionary-encoded column A. This avoids materialising A's PLI and is the
+// intersection flavour used on lattice walks.
+func (p *PLI) IntersectColumn(col []int32) *PLI {
+	out := &PLI{nRows: p.nRows}
+	groups := make(map[int32][]int32)
+	for _, cluster := range p.clusters {
+		for _, row := range cluster {
+			code := col[row]
+			groups[code] = append(groups[code], row)
+		}
+		for code, g := range groups {
+			if len(g) >= 2 {
+				out.clusters = append(out.clusters, append([]int32(nil), g...))
+			}
+			delete(groups, code)
+		}
+	}
+	return out
+}
+
+// Refines reports whether the FD X → A holds given the PLI of X and the
+// dictionary-encoded column A: every cluster of X must be constant in A
+// (Lemma 1: |X| = |X ∪ {A}|). It exits on the first violating cluster.
+func (p *PLI) Refines(col []int32) bool {
+	for _, cluster := range p.clusters {
+		first := col[cluster[0]]
+		for _, row := range cluster[1:] {
+			if col[row] != first {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// RefinesEach checks the FDs X → A for several candidate columns in a single
+// pass over the clusters. cols[i] may be nil to skip candidate i; the result
+// slice reports, per candidate, whether the refinement holds. Candidates that
+// fail early are not inspected again.
+func (p *PLI) RefinesEach(cols [][]int32) []bool {
+	ok := make([]bool, len(cols))
+	remaining := 0
+	for i, c := range cols {
+		if c != nil {
+			ok[i] = true
+			remaining++
+		}
+	}
+	if remaining == 0 {
+		return ok
+	}
+	for _, cluster := range p.clusters {
+		for i, c := range cols {
+			if c == nil || !ok[i] {
+				continue
+			}
+			first := c[cluster[0]]
+			for _, row := range cluster[1:] {
+				if c[row] != first {
+					ok[i] = false
+					remaining--
+					break
+				}
+			}
+		}
+		if remaining == 0 {
+			break
+		}
+	}
+	return ok
+}
+
+// MemoryFootprint returns an approximate number of row ids stored, used by
+// the cache to bound memory.
+func (p *PLI) MemoryFootprint() int {
+	n := 0
+	for _, c := range p.clusters {
+		n += len(c)
+	}
+	return n
+}

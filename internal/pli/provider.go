@@ -1,0 +1,171 @@
+package pli
+
+import (
+	"holistic/internal/bitset"
+	"holistic/internal/relation"
+)
+
+// Provider computes and caches PLIs for arbitrary column combinations of one
+// relation. It is the "shared data structure" of the holistic algorithms
+// (paper Sec. 3): a single Provider is handed from the UCC phase to the FD
+// phases so that intersections computed once are reused.
+//
+// Lookup strategy for an uncached set X: if any PLI of X minus one column is
+// cached, extend it with one column intersection; otherwise fold over X's
+// columns in ascending order, caching every prefix. Random-walk neighbours
+// therefore cost one intersection in the common case.
+type Provider struct {
+	rel    *relation.Relation
+	single []*PLI
+	empty  *PLI
+	cache  map[bitset.Set]*PLI
+
+	maxEntries int
+
+	// Intersections counts column intersections performed; exposed for the
+	// evaluation harness and tests.
+	Intersections int64
+}
+
+// DefaultCacheEntries bounds the number of cached multi-column PLIs. The
+// single-column PLIs are always retained.
+const DefaultCacheEntries = 4096
+
+// NewProvider builds a Provider for rel. maxEntries <= 0 selects
+// DefaultCacheEntries.
+func NewProvider(rel *relation.Relation, maxEntries int) *Provider {
+	if maxEntries <= 0 {
+		maxEntries = DefaultCacheEntries
+	}
+	p := &Provider{
+		rel:        rel,
+		single:     make([]*PLI, rel.NumColumns()),
+		empty:      FromAllRows(rel.NumRows()),
+		cache:      make(map[bitset.Set]*PLI),
+		maxEntries: maxEntries,
+	}
+	for c := 0; c < rel.NumColumns(); c++ {
+		p.single[c] = FromColumn(rel.Column(c), rel.Cardinality(c))
+	}
+	return p
+}
+
+// Relation returns the underlying relation.
+func (p *Provider) Relation() *relation.Relation { return p.rel }
+
+// SingleColumn returns the cached PLI of one column.
+func (p *Provider) SingleColumn(c int) *PLI { return p.single[c] }
+
+// Get returns the PLI of the column combination s, computing and caching it
+// if necessary.
+func (p *Provider) Get(s bitset.Set) *PLI {
+	switch s.Len() {
+	case 0:
+		return p.empty
+	case 1:
+		return p.single[s.First()]
+	}
+	if pli, ok := p.cache[s]; ok {
+		return pli
+	}
+	// Fast path: extend a cached direct subset by one column.
+	for c := s.First(); c >= 0; c = s.NextAfter(c) {
+		sub := s.Without(c)
+		if base, ok := p.lookup(sub); ok {
+			pli := base.IntersectColumn(p.rel.Column(c))
+			p.Intersections++
+			p.put(s, pli)
+			return pli
+		}
+	}
+	// Slow path: fold over ascending columns, caching prefixes.
+	cols := s.Columns()
+	prefix := bitset.Single(cols[0])
+	pli := p.single[cols[0]]
+	for _, c := range cols[1:] {
+		prefix = prefix.With(c)
+		if cached, ok := p.lookup(prefix); ok {
+			pli = cached
+			continue
+		}
+		pli = pli.IntersectColumn(p.rel.Column(c))
+		p.Intersections++
+		p.put(prefix, pli)
+	}
+	return pli
+}
+
+func (p *Provider) lookup(s bitset.Set) (*PLI, bool) {
+	switch s.Len() {
+	case 0:
+		return p.empty, true
+	case 1:
+		return p.single[s.First()], true
+	}
+	pli, ok := p.cache[s]
+	return pli, ok
+}
+
+func (p *Provider) put(s bitset.Set, pli *PLI) {
+	if len(p.cache) >= p.maxEntries {
+		// Evict roughly half the entries. Map iteration order is effectively
+		// random, which serves as a cheap random-replacement policy; the
+		// single-column PLIs live outside the cache and are never evicted.
+		drop := len(p.cache) / 2
+		for k := range p.cache {
+			if drop == 0 {
+				break
+			}
+			delete(p.cache, k)
+			drop--
+		}
+	}
+	p.cache[s] = pli
+}
+
+// CachedEntries returns the number of multi-column PLIs currently cached.
+func (p *Provider) CachedEntries() int { return len(p.cache) }
+
+// IsUnique reports whether s is a unique column combination.
+func (p *Provider) IsUnique(s bitset.Set) bool {
+	if s.IsEmpty() {
+		return p.rel.NumRows() <= 1
+	}
+	return p.Get(s).IsUnique()
+}
+
+// Cardinality returns the distinct count |s|_r.
+func (p *Provider) Cardinality(s bitset.Set) int {
+	return p.Get(s).DistinctCount()
+}
+
+// CheckFD reports whether the FD lhs → rhs holds on the relation.
+func (p *Provider) CheckFD(lhs bitset.Set, rhs int) bool {
+	if lhs.Has(rhs) {
+		return true // trivial FD
+	}
+	return p.Get(lhs).Refines(p.rel.Column(rhs))
+}
+
+// CheckFDs validates lhs → A for every A ∈ rhs in one pass over lhs's PLI
+// and returns the set of right-hand sides that hold. Columns of lhs itself
+// are trivially determined and echoed back.
+func (p *Provider) CheckFDs(lhs bitset.Set, rhs bitset.Set) bitset.Set {
+	valid := rhs.Intersect(lhs) // trivial FDs
+	todo := rhs.Diff(lhs)
+	if todo.IsEmpty() {
+		return valid
+	}
+	cols := todo.Columns()
+	colData := make([][]int32, len(cols))
+	for i, c := range cols {
+		colData[i] = p.rel.Column(c)
+	}
+	ok := p.Get(lhs).RefinesEach(colData)
+	for i, c := range cols {
+		if ok[i] {
+			valid = valid.With(c)
+		}
+	}
+	return valid
+}

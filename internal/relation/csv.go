@@ -1,0 +1,96 @@
+package relation
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+)
+
+// CSVOptions controls CSV parsing.
+type CSVOptions struct {
+	// Comma is the field separator; 0 means ','.
+	Comma rune
+	// HasHeader indicates the first record holds column names. Without a
+	// header, columns are named "col0", "col1", ...
+	HasHeader bool
+	// MaxRows, if positive, stops reading after that many data rows.
+	MaxRows int
+	// Relation carries the NULL-semantics options through to construction.
+	Relation Options
+}
+
+// ReadCSV parses a CSV stream into a Relation.
+func ReadCSV(name string, r io.Reader, opts CSVOptions) (*Relation, error) {
+	cr := csv.NewReader(r)
+	if opts.Comma != 0 {
+		cr.Comma = opts.Comma
+	}
+	cr.FieldsPerRecord = -1 // validate ourselves for a better error message
+
+	var header []string
+	if opts.HasHeader {
+		rec, err := cr.Read()
+		if err != nil {
+			return nil, fmt.Errorf("read csv %q header: %w", name, err)
+		}
+		header = append(header, rec...)
+	}
+
+	var rows [][]string
+	for {
+		if opts.MaxRows > 0 && len(rows) >= opts.MaxRows {
+			break
+		}
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("read csv %q: %w", name, err)
+		}
+		if header == nil {
+			header = make([]string, len(rec))
+			for i := range header {
+				header[i] = fmt.Sprintf("col%d", i)
+			}
+		}
+		if len(rec) != len(header) {
+			return nil, fmt.Errorf("read csv %q: row %d has %d fields, want %d", name, len(rows)+1, len(rec), len(header))
+		}
+		rows = append(rows, append([]string(nil), rec...))
+	}
+	if header == nil {
+		return nil, fmt.Errorf("read csv %q: empty input", name)
+	}
+	return NewWithOptions(name, header, rows, opts.Relation)
+}
+
+// ReadCSVFile reads a CSV file from disk.
+func ReadCSVFile(path string, opts CSVOptions) (*Relation, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadCSV(path, f, opts)
+}
+
+// WriteCSV writes the relation (with a header row) to w.
+func (r *Relation) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(r.colName); err != nil {
+		return err
+	}
+	row := make([]string, r.NumColumns())
+	for i := 0; i < r.NumRows(); i++ {
+		for c := range row {
+			row[c] = r.Value(i, c)
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,47 @@
+package relation
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzReadCSV exercises the CSV → relation pipeline with arbitrary inputs:
+// it must either return an error or produce a structurally consistent
+// relation (rectangular, duplicate-free, dictionary codes in range).
+func FuzzReadCSV(f *testing.F) {
+	f.Add("a,b\n1,2\n3,4\n", true)
+	f.Add("1;2\n", false)
+	f.Add("", true)
+	f.Add("a,b\n\"x,y\",z\n", true)
+	f.Add("a\n\n", true)
+	f.Fuzz(func(t *testing.T, input string, header bool) {
+		rel, err := ReadCSV("fuzz", strings.NewReader(input), CSVOptions{HasHeader: header, MaxRows: 64})
+		if err != nil {
+			return
+		}
+		n := rel.NumColumns()
+		if n == 0 {
+			t.Fatal("relation with zero columns returned without error")
+		}
+		seen := map[string]bool{}
+		for i := 0; i < rel.NumRows(); i++ {
+			row := rel.Row(i)
+			if len(row) != n {
+				t.Fatalf("row %d has %d fields, want %d", i, len(row), n)
+			}
+			key := strings.Join(row, "\x00")
+			if seen[key] {
+				t.Fatalf("duplicate row survived: %q", key)
+			}
+			seen[key] = true
+		}
+		for c := 0; c < n; c++ {
+			card := rel.Cardinality(c)
+			for _, code := range rel.Column(c) {
+				if code < 0 || int(code) >= card {
+					t.Fatalf("column %d code %d out of dictionary range %d", c, code, card)
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,277 @@
+// Package relation provides the shared input substrate for all profiling
+// algorithms: a column-oriented, dictionary-encoded relation with duplicate
+// rows removed.
+//
+// Reading the data once and sharing the encoded columns across SPIDER, DUCC
+// and the FD algorithms is the "shared I/O" optimisation of the holistic
+// approach (paper Sec. 3): the dictionaries double as SPIDER's duplicate-free
+// value lists and the encoded columns feed PLI construction.
+package relation
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"holistic/internal/bitset"
+)
+
+// NullValue is the string that represents SQL NULL in the input. Empty CSV
+// fields are mapped to it. For UCC and FD discovery NULL compares equal to
+// itself (the convention of TANE, FUN and DUCC); SPIDER may be configured to
+// ignore NULLs for IND containment.
+const NullValue = ""
+
+// Relation is an immutable, dictionary-encoded relation instance.
+//
+// Values are stored column-wise as int32 dictionary codes; the dictionary of
+// each column maps codes back to the original strings. Duplicate rows are
+// removed at construction time, as required by the holistic pruning rules
+// (paper Sec. 3: a relation with duplicate rows has no UCC at all).
+type Relation struct {
+	name    string
+	colName []string
+	cols    [][]int32  // cols[c][r] = dictionary code of row r in column c
+	dicts   [][]string // dicts[c][code] = original value
+	nullID  []int32    // dictionary code of NullValue per column, -1 if absent
+	opts    Options
+
+	dupRemoved int // number of duplicate rows dropped during construction
+
+	sortedVals [][]string // lazily built sorted distinct values per column
+}
+
+// Options configures relation construction.
+type Options struct {
+	// DistinctNulls makes every NULL compare unequal to every other NULL
+	// (SQL semantics): each empty field receives a fresh dictionary code, so
+	// the dependency algorithms treat NULL-bearing rows as pairwise
+	// distinct. The default (NULL = NULL) matches the convention of TANE,
+	// FUN and DUCC that the paper's evaluation uses.
+	DistinctNulls bool
+}
+
+// New builds a Relation from row-major string data. columnNames supplies the
+// schema; every row must have exactly len(columnNames) fields. Duplicate rows
+// are removed (first occurrence kept).
+func New(name string, columnNames []string, rows [][]string) (*Relation, error) {
+	return NewWithOptions(name, columnNames, rows, Options{})
+}
+
+// NewWithOptions builds a Relation with explicit NULL semantics.
+func NewWithOptions(name string, columnNames []string, rows [][]string, opts Options) (*Relation, error) {
+	n := len(columnNames)
+	if n == 0 {
+		return nil, fmt.Errorf("relation %q: no columns", name)
+	}
+	if n > bitset.MaxColumns {
+		return nil, fmt.Errorf("relation %q: %d columns exceeds the supported maximum of %d", name, n, bitset.MaxColumns)
+	}
+	r := &Relation{
+		name:    name,
+		colName: append([]string(nil), columnNames...),
+		cols:    make([][]int32, n),
+		dicts:   make([][]string, n),
+		nullID:  make([]int32, n),
+		opts:    opts,
+	}
+	for c := range r.nullID {
+		r.nullID[c] = -1
+	}
+	codes := make([]map[string]int32, n)
+	for c := range codes {
+		codes[c] = make(map[string]int32)
+	}
+
+	seen := make(map[string]struct{}, len(rows))
+	rowKey := make([]byte, 4*n)
+	encoded := make([]int32, n)
+	for i, row := range rows {
+		if len(row) != n {
+			return nil, fmt.Errorf("relation %q: row %d has %d fields, want %d", name, i, len(row), n)
+		}
+		for c, v := range row {
+			if opts.DistinctNulls && v == NullValue {
+				// SQL semantics: every NULL is its own value. The fresh
+				// code never enters the lookup map, so no later NULL can
+				// reuse it; all these codes decode to the empty string.
+				code := int32(len(r.dicts[c]))
+				r.dicts[c] = append(r.dicts[c], v)
+				if r.nullID[c] < 0 {
+					r.nullID[c] = code
+				}
+				encoded[c] = code
+				binary.LittleEndian.PutUint32(rowKey[4*c:], uint32(code))
+				continue
+			}
+			code, ok := codes[c][v]
+			if !ok {
+				code = int32(len(r.dicts[c]))
+				codes[c][v] = code
+				r.dicts[c] = append(r.dicts[c], v)
+				if v == NullValue {
+					r.nullID[c] = code
+				}
+			}
+			encoded[c] = code
+			binary.LittleEndian.PutUint32(rowKey[4*c:], uint32(code))
+		}
+		key := string(rowKey)
+		if _, dup := seen[key]; dup {
+			r.dupRemoved++
+			continue
+		}
+		seen[key] = struct{}{}
+		for c := range encoded {
+			r.cols[c] = append(r.cols[c], encoded[c])
+		}
+	}
+	return r, nil
+}
+
+// MustNew is New for statically known-good inputs (tests and examples).
+func MustNew(name string, columnNames []string, rows [][]string) *Relation {
+	r, err := New(name, columnNames, rows)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// Name returns the relation name.
+func (r *Relation) Name() string { return r.name }
+
+// NumColumns returns the number of columns.
+func (r *Relation) NumColumns() int { return len(r.cols) }
+
+// NumRows returns the number of rows after duplicate removal.
+func (r *Relation) NumRows() int {
+	if len(r.cols) == 0 {
+		return 0
+	}
+	return len(r.cols[0])
+}
+
+// DuplicatesRemoved returns how many duplicate input rows were dropped.
+func (r *Relation) DuplicatesRemoved() int { return r.dupRemoved }
+
+// ColumnNames returns the schema (not a copy; callers must not modify it).
+func (r *Relation) ColumnNames() []string { return r.colName }
+
+// ColumnName returns the name of column c.
+func (r *Relation) ColumnName(c int) string { return r.colName[c] }
+
+// ColumnIndex returns the index of the named column, or -1.
+func (r *Relation) ColumnIndex(name string) int {
+	for i, n := range r.colName {
+		if n == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// AllColumns returns the set {0..NumColumns-1}.
+func (r *Relation) AllColumns() bitset.Set { return bitset.Full(r.NumColumns()) }
+
+// Column returns the dictionary codes of column c (not a copy).
+func (r *Relation) Column(c int) []int32 { return r.cols[c] }
+
+// Cardinality returns the number of distinct values in column c.
+func (r *Relation) Cardinality(c int) int { return len(r.dicts[c]) }
+
+// NullCode returns the dictionary code of NULL in column c, or -1 if the
+// column has no NULLs.
+func (r *Relation) NullCode(c int) int32 { return r.nullID[c] }
+
+// Value returns the original string value at (row, col).
+func (r *Relation) Value(row, col int) string {
+	return r.dicts[col][r.cols[col][row]]
+}
+
+// DistinctValues returns the distinct values of column c in dictionary
+// (first-occurrence) order. The slice is shared; callers must not modify it.
+func (r *Relation) DistinctValues(c int) []string { return r.dicts[c] }
+
+// SortedDistinctValues returns the distinct values of column c in ascending
+// string order. This is SPIDER's duplicate-free sorted value list (paper
+// Sec. 2.1); it is computed once per column and cached.
+func (r *Relation) SortedDistinctValues(c int) []string {
+	if r.sortedVals == nil {
+		r.sortedVals = make([][]string, len(r.cols))
+	}
+	if r.sortedVals[c] == nil {
+		vals := append([]string(nil), r.dicts[c]...)
+		sort.Strings(vals)
+		r.sortedVals[c] = vals
+	}
+	return r.sortedVals[c]
+}
+
+// Row materialises row i as strings (a fresh slice).
+func (r *Relation) Row(i int) []string {
+	row := make([]string, len(r.cols))
+	for c := range r.cols {
+		row[c] = r.dicts[c][r.cols[c][i]]
+	}
+	return row
+}
+
+// Project returns a new relation containing only the given columns, in the
+// given order. Duplicate rows arising from the projection are removed, which
+// mirrors how the paper slices datasets for the scalability experiments.
+func (r *Relation) Project(cols []int) (*Relation, error) {
+	names := make([]string, len(cols))
+	for i, c := range cols {
+		if c < 0 || c >= r.NumColumns() {
+			return nil, fmt.Errorf("relation %q: project column %d out of range", r.name, c)
+		}
+		names[i] = r.colName[c]
+	}
+	rows := make([][]string, r.NumRows())
+	for i := range rows {
+		row := make([]string, len(cols))
+		for j, c := range cols {
+			row[j] = r.dicts[c][r.cols[c][i]]
+		}
+		rows[i] = row
+	}
+	return NewWithOptions(r.name, names, rows, r.opts)
+}
+
+// Prefix returns the relation restricted to its first cols columns (after
+// duplicate removal), as used by the column-scalability experiment.
+func (r *Relation) Prefix(cols int) (*Relation, error) {
+	idx := make([]int, cols)
+	for i := range idx {
+		idx[i] = i
+	}
+	return r.Project(idx)
+}
+
+// Head returns the relation restricted to its first rows rows, re-encoded so
+// that dictionaries and cardinalities reflect only the retained rows.
+func (r *Relation) Head(rows int) *Relation {
+	if rows >= r.NumRows() {
+		return r
+	}
+	data := make([][]string, rows)
+	for i := range data {
+		data[i] = r.Row(i)
+	}
+	out, err := NewWithOptions(r.name, r.colName, data, r.opts)
+	if err != nil {
+		// Unreachable: the source relation already validated the schema.
+		panic(err)
+	}
+	return out
+}
+
+// Rows materialises the whole relation row-major (for writers and tests).
+func (r *Relation) Rows() [][]string {
+	rows := make([][]string, r.NumRows())
+	for i := range rows {
+		rows[i] = r.Row(i)
+	}
+	return rows
+}

@@ -1,0 +1,388 @@
+package settrie
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"holistic/internal/bitset"
+)
+
+func sets(letters ...string) []bitset.Set {
+	out := make([]bitset.Set, len(letters))
+	for i, l := range letters {
+		out[i] = bitset.FromLetters(l)
+	}
+	return out
+}
+
+func TestAddContainsRemove(t *testing.T) {
+	var tr Trie
+	a := bitset.FromLetters("ACD")
+	if !tr.Add(a) || tr.Add(a) {
+		t.Error("Add should report first-insert only")
+	}
+	if !tr.Contains(a) || tr.Len() != 1 {
+		t.Error("Contains/Len mismatch after Add")
+	}
+	if tr.Contains(bitset.FromLetters("AC")) || tr.Contains(bitset.FromLetters("ACDE")) {
+		t.Error("prefix/extension must not be contained")
+	}
+	if !tr.Remove(a) || tr.Remove(a) {
+		t.Error("Remove should report first-delete only")
+	}
+	if tr.Len() != 0 || tr.Contains(a) {
+		t.Error("trie should be empty after Remove")
+	}
+}
+
+func TestEmptySetElement(t *testing.T) {
+	var tr Trie
+	empty := bitset.Set{}
+	if !tr.Add(empty) || !tr.Contains(empty) {
+		t.Error("empty set should be storable")
+	}
+	if !tr.ContainsSubsetOf(bitset.FromLetters("AB")) {
+		t.Error("empty set is a subset of everything")
+	}
+	if !tr.ContainsSupersetOf(empty) {
+		t.Error("empty set is a superset of the empty set")
+	}
+	if !tr.Remove(empty) || tr.Len() != 0 {
+		t.Error("empty set removal failed")
+	}
+}
+
+// TestPrefixTreeFigure5 reproduces Figure 5 of the paper: the prefix tree of
+// the UCCs (1,3,8), (1,5), (1,10), (1,12), (7), (15,18), (1,11,17).
+func TestPrefixTreeFigure5(t *testing.T) {
+	var tr Trie
+	uccs := []bitset.Set{
+		bitset.New(1, 3, 8),
+		bitset.New(1, 5),
+		bitset.New(1, 10),
+		bitset.New(1, 12),
+		bitset.New(7),
+		bitset.New(15, 18),
+		bitset.New(1, 11, 17),
+	}
+	for _, u := range uccs {
+		tr.Add(u)
+	}
+	if tr.Len() != 7 {
+		t.Fatalf("Len = %d, want 7", tr.Len())
+	}
+	// Level-1 structure: root has child entries 1, 7, 15 (paper figure).
+	rootCols := tr.root.cols
+	if !reflect.DeepEqual(rootCols, []int{1, 7, 15}) {
+		t.Errorf("root entries = %v, want [1 7 15]", rootCols)
+	}
+	// Subset look-up as in Sec. 5.4: subsets of X = {1,5,8,18}.
+	got := tr.SubsetsOf(bitset.New(1, 5, 8, 18))
+	want := []bitset.Set{bitset.New(1, 5)}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("SubsetsOf = %v, want %v", got, want)
+	}
+	// {7} is found inside any set containing column 7.
+	if !tr.ContainsSubsetOf(bitset.New(0, 7, 20)) {
+		t.Error("subset {7} not found")
+	}
+	if tr.ContainsSubsetOf(bitset.New(3, 8)) {
+		t.Error("no stored set is a subset of {3,8}")
+	}
+}
+
+func TestSubsetQueries(t *testing.T) {
+	var tr Trie
+	for _, s := range sets("AB", "BC", "D") {
+		tr.Add(s)
+	}
+	if !tr.ContainsSubsetOf(bitset.FromLetters("ABC")) {
+		t.Error("AB ⊆ ABC expected")
+	}
+	if tr.ContainsSubsetOf(bitset.FromLetters("AC")) {
+		t.Error("nothing is a subset of AC")
+	}
+	got := tr.SubsetsOf(bitset.FromLetters("ABCD"))
+	if len(got) != 3 {
+		t.Errorf("SubsetsOf(ABCD) = %v", got)
+	}
+}
+
+func TestSupersetQueries(t *testing.T) {
+	var tr Trie
+	// The connector look-up example of Table 2: minimal UCCs AFG, BDFG, DEF,
+	// CEFG; supersets of the connector FG are AFG, BDFG, CEFG.
+	for _, s := range sets("AFG", "BDFG", "DEF", "CEFG") {
+		tr.Add(s)
+	}
+	got := tr.SupersetsOf(bitset.FromLetters("FG"))
+	want := sets("AFG", "BDFG", "CEFG")
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("SupersetsOf(FG) = %v, want %v", got, want)
+	}
+	if !tr.ContainsSupersetOf(bitset.FromLetters("FG")) {
+		t.Error("ContainsSupersetOf(FG) expected")
+	}
+	if tr.ContainsSupersetOf(bitset.FromLetters("AB")) {
+		t.Error("no superset of AB stored")
+	}
+	// Union of matched minus connector = ABCDE (Table 2's result).
+	var union bitset.Set
+	for _, s := range got {
+		union = union.Union(s)
+	}
+	if diff := union.Diff(bitset.FromLetters("FG")); diff != bitset.FromLetters("ABCDE") {
+		t.Errorf("connector union = %v, want ABCDE", diff)
+	}
+}
+
+func TestAllAndForEach(t *testing.T) {
+	var tr Trie
+	in := sets("B", "AC", "A")
+	for _, s := range in {
+		tr.Add(s)
+	}
+	all := tr.All()
+	if len(all) != 3 {
+		t.Fatalf("All = %v", all)
+	}
+	// Deterministic sorted-path order: A, AC, B.
+	want := sets("A", "AC", "B")
+	if !reflect.DeepEqual(all, want) {
+		t.Errorf("All = %v, want %v", all, want)
+	}
+	count := 0
+	tr.ForEach(func(bitset.Set) bool {
+		count++
+		return count < 2
+	})
+	if count != 2 {
+		t.Errorf("ForEach early stop visited %d, want 2", count)
+	}
+}
+
+func TestRemovePrunesNodes(t *testing.T) {
+	var tr Trie
+	tr.Add(bitset.FromLetters("ABC"))
+	tr.Add(bitset.FromLetters("AB"))
+	tr.Remove(bitset.FromLetters("ABC"))
+	if tr.ContainsSupersetOf(bitset.FromLetters("ABC")) {
+		t.Error("dangling node kept after removal")
+	}
+	if !tr.Contains(bitset.FromLetters("AB")) {
+		t.Error("sibling entry lost")
+	}
+}
+
+func TestMinimalFamily(t *testing.T) {
+	var f MinimalFamily
+	if !f.Add(bitset.FromLetters("ABC")) {
+		t.Error("first add should succeed")
+	}
+	if f.Add(bitset.FromLetters("ABCD")) {
+		t.Error("superset of stored set must be rejected")
+	}
+	if !f.Add(bitset.FromLetters("AB")) {
+		t.Error("subset should replace superset")
+	}
+	if f.Contains(bitset.FromLetters("ABC")) {
+		t.Error("superset should have been removed")
+	}
+	if f.Len() != 1 {
+		t.Errorf("Len = %d, want 1", f.Len())
+	}
+	f.Add(bitset.FromLetters("CD"))
+	if got := f.Union(); got != bitset.FromLetters("ABCD") {
+		t.Errorf("Union = %v", got)
+	}
+	if !f.CoversSubsetOf(bitset.FromLetters("ABE")) {
+		t.Error("AB ⊆ ABE expected")
+	}
+	if f.CoversSubsetOf(bitset.FromLetters("AD")) {
+		t.Error("no stored subset of AD")
+	}
+	if got := f.SupersetsOf(bitset.FromLetters("C")); len(got) != 1 || got[0] != bitset.FromLetters("CD") {
+		t.Errorf("SupersetsOf(C) = %v", got)
+	}
+	if !f.ContainsSupersetOf(bitset.FromLetters("D")) {
+		t.Error("CD ⊇ D expected")
+	}
+	var visited int
+	f.ForEach(func(bitset.Set) bool {
+		visited++
+		return true
+	})
+	if visited != 2 {
+		t.Errorf("ForEach visited %d, want 2", visited)
+	}
+	if got := f.SubsetsOf(bitset.FromLetters("ABCD")); len(got) != 2 {
+		t.Errorf("SubsetsOf(ABCD) = %v", got)
+	}
+}
+
+func TestMaximalFamily(t *testing.T) {
+	var f MaximalFamily
+	if !f.Add(bitset.FromLetters("AB")) {
+		t.Error("first add should succeed")
+	}
+	if f.Add(bitset.FromLetters("A")) {
+		t.Error("subset of stored set must be rejected")
+	}
+	if !f.Add(bitset.FromLetters("ABC")) {
+		t.Error("superset should replace subset")
+	}
+	if f.Contains(bitset.FromLetters("AB")) {
+		t.Error("subset should have been removed")
+	}
+	if f.Len() != 1 {
+		t.Errorf("Len = %d, want 1", f.Len())
+	}
+	if !f.CoversSupersetOf(bitset.FromLetters("BC")) {
+		t.Error("BC ⊆ ABC expected")
+	}
+	if f.CoversSupersetOf(bitset.FromLetters("D")) {
+		t.Error("no superset of D stored")
+	}
+}
+
+func randomFamily(rnd *rand.Rand, n, count int) []bitset.Set {
+	out := make([]bitset.Set, count)
+	for i := range out {
+		var s bitset.Set
+		for c := 0; c < n; c++ {
+			if rnd.Intn(3) == 0 {
+				s = s.With(c)
+			}
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// Property: trie queries agree with naive scans over the stored sets.
+func TestQuickTrieMatchesNaive(t *testing.T) {
+	cfg := &quick.Config{
+		MaxCount: 200,
+		Values: func(vals []reflect.Value, rnd *rand.Rand) {
+			vals[0] = reflect.ValueOf(randomFamily(rnd, 8, 1+rnd.Intn(15)))
+			vals[1] = reflect.ValueOf(randomFamily(rnd, 8, 5))
+		},
+	}
+	if err := quick.Check(func(stored, queries []bitset.Set) bool {
+		var tr Trie
+		dedup := map[bitset.Set]bool{}
+		for _, s := range stored {
+			tr.Add(s)
+			dedup[s] = true
+		}
+		if tr.Len() != len(dedup) {
+			return false
+		}
+		for _, q := range queries {
+			wantSub, wantSup := false, false
+			var subs, sups []bitset.Set
+			for s := range dedup {
+				if s.IsSubsetOf(q) {
+					wantSub = true
+					subs = append(subs, s)
+				}
+				if q.IsSubsetOf(s) {
+					wantSup = true
+					sups = append(sups, s)
+				}
+			}
+			if tr.ContainsSubsetOf(q) != wantSub || tr.ContainsSupersetOf(q) != wantSup {
+				return false
+			}
+			gotSubs, gotSups := tr.SubsetsOf(q), tr.SupersetsOf(q)
+			bitset.Sort(subs)
+			bitset.Sort(sups)
+			sortedCopy := func(in []bitset.Set) []bitset.Set {
+				c := append([]bitset.Set(nil), in...)
+				bitset.Sort(c)
+				return c
+			}
+			if !reflect.DeepEqual(sortedCopy(gotSubs), subs) || !reflect.DeepEqual(sortedCopy(gotSups), sups) {
+				return false
+			}
+		}
+		return true
+	}, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: MinimalFamily is always an antichain equal to the minimal
+// elements of the inserted sets; MaximalFamily dually.
+func TestQuickFamiliesAreAntichains(t *testing.T) {
+	cfg := &quick.Config{
+		MaxCount: 200,
+		Values: func(vals []reflect.Value, rnd *rand.Rand) {
+			vals[0] = reflect.ValueOf(randomFamily(rnd, 7, 1+rnd.Intn(20)))
+		},
+	}
+	if err := quick.Check(func(in []bitset.Set) bool {
+		var minF MinimalFamily
+		var maxF MaximalFamily
+		for _, s := range in {
+			minF.Add(s)
+			maxF.Add(s)
+		}
+		wantMin := naiveMinimal(in)
+		wantMax := naiveMaximal(in)
+		gotMin := minF.All()
+		gotMax := maxF.All()
+		bitset.Sort(gotMin)
+		bitset.Sort(gotMax)
+		bitset.Sort(wantMin)
+		bitset.Sort(wantMax)
+		return reflect.DeepEqual(gotMin, wantMin) && reflect.DeepEqual(gotMax, wantMax)
+	}, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func naiveMinimal(in []bitset.Set) []bitset.Set {
+	var out []bitset.Set
+	for _, s := range in {
+		minimal := true
+		for _, o := range in {
+			if o.IsProperSubsetOf(s) {
+				minimal = false
+				break
+			}
+		}
+		if minimal && !containsSet(out, s) {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+func naiveMaximal(in []bitset.Set) []bitset.Set {
+	var out []bitset.Set
+	for _, s := range in {
+		maximal := true
+		for _, o := range in {
+			if s.IsProperSubsetOf(o) {
+				maximal = false
+				break
+			}
+		}
+		if maximal && !containsSet(out, s) {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+func containsSet(in []bitset.Set, s bitset.Set) bool {
+	for _, o := range in {
+		if o == s {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,180 @@
+// Package stats computes single-column statistics over the shared relation
+// substrate. Basic statistics are the entry point of every profiling session
+// (paper Sec. 1 frames data profiling as structure *and* statistics); this
+// package piggybacks on the dictionary encoding built for the dependency
+// algorithms, so gathering statistics adds no extra input pass — the same
+// cost-sharing idea that motivates the holistic algorithms.
+package stats
+
+import (
+	"math"
+	"strconv"
+	"unicode/utf8"
+
+	"holistic/internal/relation"
+)
+
+// Type is the inferred value type of a column.
+type Type int
+
+const (
+	// TypeEmpty marks columns with no non-NULL values.
+	TypeEmpty Type = iota
+	// TypeInteger marks columns whose non-NULL values all parse as int64.
+	TypeInteger
+	// TypeFloat marks columns whose non-NULL values all parse as float64
+	// (and at least one is not an integer).
+	TypeFloat
+	// TypeString marks everything else.
+	TypeString
+)
+
+// String returns the type name.
+func (t Type) String() string {
+	switch t {
+	case TypeEmpty:
+		return "empty"
+	case TypeInteger:
+		return "integer"
+	case TypeFloat:
+		return "float"
+	default:
+		return "string"
+	}
+}
+
+// Column holds the statistics of one column. The JSON tags make statistics
+// embeddable in the profiling report (core.Report).
+type Column struct {
+	Name     string `json:"name"`
+	Type     Type   `json:"-"`
+	TypeName string `json:"type"`
+	Rows     int    `json:"rows"`
+	Nulls    int    `json:"nulls"`
+	Distinct int    `json:"distinct"`
+	// Uniqueness is Distinct / non-null Rows (0 for all-NULL columns).
+	Uniqueness float64 `json:"uniqueness"`
+	// MinString/MaxString are the lexicographic extremes of the non-NULL
+	// values (empty for all-NULL columns).
+	MinString string `json:"min_string"`
+	MaxString string `json:"max_string"`
+	// MinNumeric/MaxNumeric/MeanNumeric are populated for numeric columns.
+	MinNumeric  float64 `json:"min_numeric"`
+	MaxNumeric  float64 `json:"max_numeric"`
+	MeanNumeric float64 `json:"mean_numeric"`
+	// MinLength/MaxLength/AvgLength describe value lengths in runes.
+	MinLength int     `json:"min_length"`
+	MaxLength int     `json:"max_length"`
+	AvgLength float64 `json:"avg_length"`
+	// MostFrequent is a value with maximal frequency; Frequency its count.
+	MostFrequent string `json:"most_frequent"`
+	Frequency    int    `json:"frequency"`
+}
+
+// Profile computes statistics for every column of the relation.
+func Profile(rel *relation.Relation) []Column {
+	out := make([]Column, rel.NumColumns())
+	for c := range out {
+		out[c] = ProfileColumn(rel, c)
+	}
+	return out
+}
+
+// ProfileColumn computes the statistics of a single column.
+func ProfileColumn(rel *relation.Relation, c int) Column {
+	col := Column{
+		Name: rel.ColumnName(c),
+		Rows: rel.NumRows(),
+	}
+
+	// Count value frequencies over the dictionary codes (one pass).
+	codes := rel.Column(c)
+	freq := make([]int, rel.Cardinality(c))
+	for _, code := range codes {
+		freq[code]++
+	}
+
+	values := rel.DistinctValues(c)
+	nonNull := 0
+	isInt, isFloat := true, true
+	var sum float64
+	var numCount int
+	lengthSum := 0
+	col.MinLength = math.MaxInt
+	for code, v := range values {
+		n := freq[code]
+		if n == 0 {
+			continue // value only occurred in removed duplicate rows
+		}
+		if v == relation.NullValue {
+			col.Nulls += n
+			continue
+		}
+		nonNull += n
+		col.Distinct++
+		if col.MinString == "" && col.MaxString == "" && col.Distinct == 1 {
+			col.MinString, col.MaxString = v, v
+		} else {
+			if v < col.MinString {
+				col.MinString = v
+			}
+			if v > col.MaxString {
+				col.MaxString = v
+			}
+		}
+		if n > col.Frequency {
+			col.Frequency = n
+			col.MostFrequent = v
+		}
+		l := utf8.RuneCountInString(v)
+		lengthSum += l * n
+		if l < col.MinLength {
+			col.MinLength = l
+		}
+		if l > col.MaxLength {
+			col.MaxLength = l
+		}
+		if f, err := strconv.ParseFloat(v, 64); err == nil {
+			if _, ierr := strconv.ParseInt(v, 10, 64); ierr != nil {
+				isInt = false
+			}
+			if numCount == 0 {
+				col.MinNumeric, col.MaxNumeric = f, f
+			} else {
+				if f < col.MinNumeric {
+					col.MinNumeric = f
+				}
+				if f > col.MaxNumeric {
+					col.MaxNumeric = f
+				}
+			}
+			sum += f * float64(n)
+			numCount += n
+		} else {
+			isInt, isFloat = false, false
+		}
+	}
+
+	switch {
+	case nonNull == 0:
+		col.Type = TypeEmpty
+		col.MinLength = 0
+	case isInt:
+		col.Type = TypeInteger
+	case isFloat:
+		col.Type = TypeFloat
+	default:
+		col.Type = TypeString
+	}
+	if nonNull > 0 {
+		col.Uniqueness = float64(col.Distinct) / float64(nonNull)
+		col.AvgLength = float64(lengthSum) / float64(nonNull)
+	}
+	if numCount > 0 && (col.Type == TypeInteger || col.Type == TypeFloat) {
+		col.MeanNumeric = sum / float64(numCount)
+	} else {
+		col.MinNumeric, col.MaxNumeric, col.MeanNumeric = 0, 0, 0
+	}
+	col.TypeName = col.Type.String()
+	return col
+}

@@ -1,0 +1,127 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"holistic/internal/relation"
+)
+
+func rel(t *testing.T, names []string, rows [][]string) *relation.Relation {
+	t.Helper()
+	r, err := relation.New("t", names, rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestIntegerColumn(t *testing.T) {
+	r := rel(t, []string{"n", "pad"}, [][]string{
+		{"3", "a"}, {"1", "b"}, {"2", "c"}, {"2", "d"},
+	})
+	c := ProfileColumn(r, 0)
+	if c.Type != TypeInteger {
+		t.Errorf("Type = %v, want integer", c.Type)
+	}
+	if c.Distinct != 3 || c.Nulls != 0 {
+		t.Errorf("Distinct=%d Nulls=%d", c.Distinct, c.Nulls)
+	}
+	if c.MinNumeric != 1 || c.MaxNumeric != 3 {
+		t.Errorf("numeric range = [%v,%v]", c.MinNumeric, c.MaxNumeric)
+	}
+	if math.Abs(c.MeanNumeric-2) > 1e-9 {
+		t.Errorf("Mean = %v, want 2", c.MeanNumeric)
+	}
+	if c.MostFrequent != "2" || c.Frequency != 2 {
+		t.Errorf("MostFrequent = %q x%d", c.MostFrequent, c.Frequency)
+	}
+	if c.Uniqueness != 0.75 {
+		t.Errorf("Uniqueness = %v", c.Uniqueness)
+	}
+}
+
+func TestFloatAndStringTypes(t *testing.T) {
+	r := rel(t, []string{"f", "s"}, [][]string{
+		{"1.5", "x"}, {"2", "yy"}, {"0.25", "zzz"},
+	})
+	f := ProfileColumn(r, 0)
+	if f.Type != TypeFloat {
+		t.Errorf("f.Type = %v, want float", f.Type)
+	}
+	s := ProfileColumn(r, 1)
+	if s.Type != TypeString {
+		t.Errorf("s.Type = %v, want string", s.Type)
+	}
+	if s.MinLength != 1 || s.MaxLength != 3 || math.Abs(s.AvgLength-2) > 1e-9 {
+		t.Errorf("lengths = %d..%d avg %v", s.MinLength, s.MaxLength, s.AvgLength)
+	}
+	if s.MinString != "x" || s.MaxString != "zzz" {
+		t.Errorf("string range = %q..%q", s.MinString, s.MaxString)
+	}
+}
+
+func TestNullHandling(t *testing.T) {
+	r := rel(t, []string{"a", "b"}, [][]string{
+		{"", "1"}, {"x", "2"}, {"", "3"},
+	})
+	c := ProfileColumn(r, 0)
+	if c.Nulls != 2 || c.Distinct != 1 {
+		t.Errorf("Nulls=%d Distinct=%d", c.Nulls, c.Distinct)
+	}
+	if c.Uniqueness != 1 {
+		t.Errorf("Uniqueness = %v (1 distinct / 1 non-null)", c.Uniqueness)
+	}
+}
+
+func TestAllNullColumn(t *testing.T) {
+	r := rel(t, []string{"a", "b"}, [][]string{
+		{"", "1"}, {"", "2"},
+	})
+	c := ProfileColumn(r, 0)
+	if c.Type != TypeEmpty {
+		t.Errorf("Type = %v, want empty", c.Type)
+	}
+	if c.MinLength != 0 || c.Uniqueness != 0 {
+		t.Errorf("MinLength=%d Uniqueness=%v", c.MinLength, c.Uniqueness)
+	}
+	if c.Type.String() != "empty" {
+		t.Errorf("String = %q", c.Type.String())
+	}
+}
+
+func TestTypeStrings(t *testing.T) {
+	want := map[Type]string{TypeEmpty: "empty", TypeInteger: "integer", TypeFloat: "float", TypeString: "string"}
+	for typ, s := range want {
+		if typ.String() != s {
+			t.Errorf("%d.String() = %q, want %q", typ, typ.String(), s)
+		}
+	}
+}
+
+func TestProfileAllColumns(t *testing.T) {
+	r := rel(t, []string{"a", "b", "c"}, [][]string{
+		{"1", "x", ""},
+		{"2", "y", ""},
+	})
+	cols := Profile(r)
+	if len(cols) != 3 {
+		t.Fatalf("got %d columns", len(cols))
+	}
+	if cols[0].Name != "a" || cols[0].Type != TypeInteger {
+		t.Errorf("col a = %+v", cols[0])
+	}
+	if cols[2].Type != TypeEmpty {
+		t.Errorf("col c = %+v", cols[2])
+	}
+}
+
+func TestNegativeAndLargeNumbers(t *testing.T) {
+	r := rel(t, []string{"n", "pad"}, [][]string{
+		{"-5", "a"}, {"10", "b"}, {"-5", "c"},
+	})
+	c := ProfileColumn(r, 0)
+	if c.Type != TypeInteger || c.MinNumeric != -5 || c.MaxNumeric != 10 {
+		t.Errorf("col = %+v", c)
+	}
+}

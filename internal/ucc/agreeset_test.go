@@ -1,0 +1,83 @@
+package ucc
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"holistic/internal/bitset"
+	"holistic/internal/pli"
+)
+
+func TestAgreeSetSimple(t *testing.T) {
+	p := provider(t, []string{"A", "B"}, [][]string{
+		{"1", "x"},
+		{"2", "x"},
+		{"3", "y"},
+	})
+	res := AgreeSet(p)
+	want := []bitset.Set{bitset.New(0)}
+	if !reflect.DeepEqual(res.Minimal, want) {
+		t.Errorf("Minimal = %v, want %v", res.Minimal, want)
+	}
+	// Rows 1 and 2 agree exactly on B: the only maximal non-unique set.
+	if !reflect.DeepEqual(res.MaximalNonUnique, []bitset.Set{bitset.New(1)}) {
+		t.Errorf("MaximalNonUnique = %v", res.MaximalNonUnique)
+	}
+}
+
+func TestAgreeSetAllUniqueColumns(t *testing.T) {
+	p := provider(t, []string{"A", "B"}, [][]string{
+		{"1", "x"},
+		{"2", "y"},
+	})
+	res := AgreeSet(p)
+	want := []bitset.Set{bitset.New(0), bitset.New(1)}
+	if !reflect.DeepEqual(res.Minimal, want) {
+		t.Errorf("Minimal = %v, want %v", res.Minimal, want)
+	}
+	if res.Checks != 0 {
+		t.Errorf("Checks = %d, want 0 (no agreeing pairs)", res.Checks)
+	}
+}
+
+func TestAgreeSetSingleRow(t *testing.T) {
+	p := provider(t, []string{"A", "B"}, [][]string{{"1", "x"}})
+	res := AgreeSet(p)
+	want := []bitset.Set{bitset.New(0), bitset.New(1)}
+	if !reflect.DeepEqual(res.Minimal, want) {
+		t.Errorf("Minimal = %v, want %v", res.Minimal, want)
+	}
+}
+
+// Property: the row-based algorithm agrees with the column-based oracle and
+// with DUCC, and its maximal non-unique certificates are genuine and
+// maximal.
+func TestQuickAgreeSetMatchesOracle(t *testing.T) {
+	cfg := &quick.Config{
+		MaxCount: 120,
+		Values: func(vals []reflect.Value, rnd *rand.Rand) {
+			vals[0] = reflect.ValueOf(randomProvider(rnd, 6, 25, 4))
+		},
+	}
+	if err := quick.Check(func(p *pli.Provider) bool {
+		res := AgreeSet(p)
+		if !reflect.DeepEqual(res.Minimal, BruteForce(p)) {
+			return false
+		}
+		for _, m := range res.MaximalNonUnique {
+			if bruteUnique(p, m) {
+				return false
+			}
+			for _, sup := range m.DirectSupersets(p.Relation().NumColumns()) {
+				if !bruteUnique(p, sup) {
+					return false
+				}
+			}
+		}
+		return true
+	}, cfg); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,27 @@
+package ucc
+
+import (
+	"holistic/internal/pli"
+	"holistic/internal/walker"
+)
+
+// Ducc discovers all minimal UCCs with the DUCC strategy (paper Sec. 2.2):
+// a randomized walk over the lattice that descends from uniques and ascends
+// from non-uniques, pruning supersets of UCCs and subsets of non-UCCs via
+// set-tries, followed by hole detection that compares the found minimal UCCs
+// with the minimal hitting sets of the complements of the found maximal
+// non-UCCs.
+//
+// Uniqueness of a column combination is a monotone lattice predicate, so the
+// traversal is delegated to the generic walker shared with MUDS' R\Z phase.
+// The seed fixes the randomized traversal order; results are independent of
+// it (verified by property tests), only the visit order varies.
+func Ducc(p *pli.Provider, seed int64) Result {
+	base := p.Relation().AllColumns()
+	res := walker.Run(base, p.IsUnique, walker.Options{Seed: seed})
+	return Result{
+		Minimal:          res.MinimalTrue,
+		MaximalNonUnique: res.MaximalFalse,
+		Checks:           res.Checks,
+	}
+}

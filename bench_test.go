@@ -6,20 +6,45 @@ package holistic
 // EXPERIMENTS.md records the measured shapes against the paper's.
 
 import (
+	"context"
 	"testing"
 
 	"holistic/internal/core"
 	"holistic/internal/dataset"
+	"holistic/internal/pli"
 	"holistic/internal/relation"
 )
+
+// cacheMetrics observes the engine's cache-statistics events and accumulates
+// them across iterations, so the benchmarks can report shared-PLI-cache
+// effectiveness (hits/misses/intersections) alongside ns/op.
+type cacheMetrics struct {
+	core.NopObserver
+	hits, misses, intersections int64
+}
+
+func (m *cacheMetrics) CacheStats(s pli.CacheStats) {
+	m.hits += s.Hits
+	m.misses += s.Misses
+	m.intersections += s.Intersections
+}
+
+func (m *cacheMetrics) report(b *testing.B) {
+	n := float64(b.N)
+	b.ReportMetric(float64(m.hits)/n, "pli-hits/op")
+	b.ReportMetric(float64(m.misses)/n, "pli-misses/op")
+	b.ReportMetric(float64(m.intersections)/n, "pli-intersects/op")
+}
 
 func benchStrategies(b *testing.B, rel *relation.Relation, strategies ...string) {
 	b.Helper()
 	src := core.RelationSource{Rel: rel}
 	for _, strategy := range strategies {
 		b.Run(strategy, func(b *testing.B) {
+			var metrics cacheMetrics
 			for i := 0; i < b.N; i++ {
-				res, err := core.Run(strategy, src, core.Options{Seed: int64(i)})
+				res, err := core.RunContext(context.Background(), strategy, src,
+					core.Options{Seed: int64(i)}, &metrics)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -27,6 +52,7 @@ func benchStrategies(b *testing.B, rel *relation.Relation, strategies ...string)
 					b.Fatal("no FDs found")
 				}
 			}
+			metrics.report(b)
 		})
 	}
 }

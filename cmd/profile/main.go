@@ -4,13 +4,18 @@
 //
 // Usage:
 //
-//	profile [-algorithm muds|hfun|baseline|tane] [-sep ,] [-no-header]
+//	profile [-algorithm name] [-timeout d] [-sep ,] [-no-header]
 //	        [-max-rows N] [-stats] [-timings] [-seed N]
 //	        [-nary K] [-approx eps] file.csv
+//
+// The strategy names accepted by -algorithm come from the engine registry;
+// run with -h for the current list.
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -27,6 +32,7 @@ import (
 func main() {
 	var (
 		algorithm = flag.String("algorithm", core.StrategyMuds, "profiling strategy: "+strings.Join(core.Strategies(), "|"))
+		timeout   = flag.Duration("timeout", 0, "abort profiling after this duration (0 = no limit)")
 		sep       = flag.String("sep", ",", "CSV field separator (single character)")
 		noHeader  = flag.Bool("no-header", false, "input has no header row")
 		maxRows   = flag.Int("max-rows", 0, "read at most N data rows (0 = all)")
@@ -48,6 +54,13 @@ func main() {
 		fmt.Fprintln(os.Stderr, "profile: -sep must be a single character")
 		os.Exit(2)
 	}
+	// Reject unknown strategies before any input is read: a typo in
+	// -algorithm should not cost a multi-gigabyte CSV parse.
+	if _, ok := core.Lookup(*algorithm); !ok {
+		fmt.Fprintf(os.Stderr, "profile: unknown -algorithm %q (want one of %s)\n",
+			*algorithm, strings.Join(core.Strategies(), "|"))
+		os.Exit(2)
+	}
 
 	src := core.CSVSource{
 		Path: flag.Arg(0),
@@ -58,9 +71,19 @@ func main() {
 			Relation:  relation.Options{DistinctNulls: *sqlNulls},
 		},
 	}
-	res, err := core.Run(*algorithm, src, core.Options{Seed: *seed})
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	res, err := core.RunContext(ctx, *algorithm, src, core.Options{Seed: *seed}, nil)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "profile:", err)
+		if errors.Is(err, context.DeadlineExceeded) {
+			fmt.Fprintf(os.Stderr, "profile: timed out after %v (partial results discarded)\n", *timeout)
+		} else {
+			fmt.Fprintln(os.Stderr, "profile:", err)
+		}
 		os.Exit(1)
 	}
 

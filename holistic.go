@@ -24,6 +24,8 @@
 package holistic
 
 import (
+	"context"
+
 	"holistic/internal/bitset"
 	"holistic/internal/core"
 	"holistic/internal/fd"
@@ -62,6 +64,14 @@ type (
 	CSVSource = core.CSVSource
 	// RelationSource wraps an in-memory relation.
 	RelationSource = core.RelationSource
+	// Observer receives engine progress events (phase boundaries, check
+	// counts, PLI cache statistics). NopObserver is a ready-made base.
+	Observer = core.Observer
+	// NopObserver implements Observer with no-ops; embed it to override
+	// selected callbacks.
+	NopObserver = core.NopObserver
+	// CacheStats is a snapshot of the shared PLI cache counters.
+	CacheStats = pli.CacheStats
 )
 
 // Profiling strategies.
@@ -101,7 +111,14 @@ func ReadCSVFile(path string, opts CSVOptions) (*Relation, error) {
 
 // Profile runs the holistic MUDS algorithm on the source.
 func Profile(src Source, opts Options) (*Result, error) {
-	return core.RunMuds(src, opts)
+	return core.Run(core.StrategyMuds, src, opts)
+}
+
+// ProfileContext runs MUDS on the source under ctx: when ctx is cancelled or
+// its deadline passes, the run stops promptly and returns the partial result
+// together with ctx.Err(). obs may be nil.
+func ProfileContext(ctx context.Context, src Source, opts Options, obs Observer) (*Result, error) {
+	return core.RunContext(ctx, core.StrategyMuds, src, opts, obs)
 }
 
 // ProfileRelation runs MUDS on an already-loaded relation.
@@ -109,9 +126,15 @@ func ProfileRelation(rel *Relation, opts Options) *Result {
 	return core.Muds(rel, opts)
 }
 
-// ProfileWith runs the named strategy ("muds", "hfun", "baseline", "tane").
+// ProfileWith runs the named strategy (see Strategies for the choices).
 func ProfileWith(strategy string, src Source, opts Options) (*Result, error) {
 	return core.Run(strategy, src, opts)
+}
+
+// ProfileWithContext runs the named strategy under ctx with an optional
+// observer; cancellation behaves as in ProfileContext.
+func ProfileWithContext(ctx context.Context, strategy string, src Source, opts Options, obs Observer) (*Result, error) {
+	return core.RunContext(ctx, strategy, src, opts, obs)
 }
 
 // Columns is a convenience constructor for column sets.

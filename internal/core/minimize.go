@@ -43,6 +43,9 @@ func (m *mudsFD) minimizeFDs() {
 	}
 
 	for len(queue) > 0 {
+		if m.aborted() {
+			return
+		}
 		t := queue[len(queue)-1]
 		queue = queue[:len(queue)-1]
 

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"holistic/internal/bitset"
 	"holistic/internal/fd"
 	"holistic/internal/ind"
@@ -24,25 +26,61 @@ type Options struct {
 // relation: SPIDER while reading (shared I/O), DUCC on the shared PLIs, and
 // the three-phase UCC-first FD discovery with inter-task pruning.
 func Muds(rel *relation.Relation, opts Options) *Result {
+	res, _ := MudsContext(context.Background(), rel, opts, nil)
+	return res
+}
+
+// MudsContext runs MUDS under a context with an optional observer (nil for
+// none). The lattice traversals poll ctx and stop promptly when it is
+// cancelled or its deadline passes, returning the partial result — the
+// dependencies and phase timings accumulated so far — together with
+// ctx.Err().
+func MudsContext(ctx context.Context, rel *relation.Relation, opts Options, obs Observer) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	rec := newRecorder(obs)
+	res, err := mudsProfile(ctx, rel, opts, rec)
+	rec.finish(res)
+	return res, err
+}
+
+// mudsProfile is the registered MUDS strategy implementation. Phase timings
+// and check totals flow through the observer (the engine's recorder
+// assembles them into the Result).
+func mudsProfile(ctx context.Context, rel *relation.Relation, opts Options, obs Observer) (*Result, error) {
 	res := &Result{}
-	timer := newPhaseTimer()
 
 	var p *pli.Provider
-	timer.time(PhaseSpider, func() {
+	err := timePhase(ctx, obs, PhaseSpider, func() error {
 		// SPIDER consumes the sorted duplicate-free value lists; the PLIs
 		// are built in the same pass over the input (paper Sec. 5: "Since
 		// this algorithm already requires to read and sort all records,
 		// Muds also builds the PLIs in this step").
-		res.INDs = ind.Spider(rel, opts.IND)
+		inds, err := ind.SpiderContext(ctx, rel, opts.IND)
+		if err != nil {
+			return err
+		}
+		res.INDs = inds
 		p = pli.NewProvider(rel, opts.CacheEntries)
+		return nil
 	})
+	if err != nil {
+		return res, err
+	}
+	defer func() { obs.CacheStats(p.CacheStats()) }()
 
 	var uccRes ucc.Result
-	timer.time(PhaseDucc, func() {
-		uccRes = ucc.Ducc(p, opts.Seed)
+	err = timePhase(ctx, obs, PhaseDucc, func() error {
+		var err error
+		uccRes, err = ucc.DuccContext(ctx, p, opts.Seed)
+		obs.Checks(uccRes.Checks)
+		return err
 	})
 	res.UCCs = uccRes.Minimal
-	res.Checks += uccRes.Checks
+	if err != nil {
+		return res, err
+	}
 
 	store := fd.NewStore()
 	constants := fd.ConstantColumns(p)
@@ -51,33 +89,48 @@ func Muds(rel *relation.Relation, opts Options) *Result {
 	if rel.NumRows() > 1 {
 		working := rel.AllColumns().Diff(constants)
 		m := newMudsFD(p, working, res.UCCs, store, opts.Seed)
-
-		timer.time(PhaseMinimizeFDs, m.minimizeFDs)
-		timer.time(PhaseCalculateRZ, m.calculateRZ)
-
-		// Shadowed-FD fixpoint: generate + minimise until no new FD appears
-		// (see shadowed.go for why a single pass is not enough).
-		for {
-			var tasks []shadowTask
-			timer.time(PhaseGenerateShadowed, func() {
-				tasks = m.generateShadowedTasks()
-			})
-			before := store.Count()
-			timer.time(PhaseMinimizeShadowed, func() {
-				m.minimizeShadowed(tasks)
-			})
-			if store.Count() == before {
-				break
-			}
-		}
-
-		// Guarantee the complete minimal cover (see sweep.go).
-		timer.time(PhaseCompletionSweep, m.completionSweep)
-
-		res.Checks += m.checks
+		m.ctx = ctx
+		err = mudsFDPhases(ctx, m, store, obs)
+		obs.Checks(m.checks)
 	}
 
 	res.FDs = store.All()
-	res.Phases = timer.phases
-	return res
+	return res, err
+}
+
+// mudsFDPhases runs the three FD phases of MUDS (paper Sec. 5) plus the
+// completion sweep, stopping at the first phase that reports cancellation.
+func mudsFDPhases(ctx context.Context, m *mudsFD, store *fd.Store, obs Observer) error {
+	if err := timePhase(ctx, obs, PhaseMinimizeFDs, m.run(m.minimizeFDs)); err != nil {
+		return err
+	}
+	if err := timePhase(ctx, obs, PhaseCalculateRZ, m.run(m.calculateRZ)); err != nil {
+		return err
+	}
+
+	// Shadowed-FD fixpoint: generate + minimise until no new FD appears
+	// (see shadowed.go for why a single pass is not enough).
+	for {
+		var tasks []shadowTask
+		err := timePhase(ctx, obs, PhaseGenerateShadowed, func() error {
+			tasks = m.generateShadowedTasks()
+			return m.ctx.Err()
+		})
+		if err != nil {
+			return err
+		}
+		before := store.Count()
+		err = timePhase(ctx, obs, PhaseMinimizeShadowed, m.run(func() {
+			m.minimizeShadowed(tasks)
+		}))
+		if err != nil {
+			return err
+		}
+		if store.Count() == before {
+			break
+		}
+	}
+
+	// Guarantee the complete minimal cover (see sweep.go).
+	return timePhase(ctx, obs, PhaseCompletionSweep, m.run(m.completionSweep))
 }

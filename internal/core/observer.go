@@ -1,0 +1,50 @@
+package core
+
+import (
+	"time"
+
+	"holistic/internal/pli"
+)
+
+// Observer receives progress events from a profiling run: phase boundaries,
+// validity-check counts, and PLI cache statistics. It replaces the engine's
+// former internal phase timer as the single instrumentation surface — the
+// per-phase durations in Result.Phases are assembled from the same events.
+//
+// Implementations must be cheap: PhaseStart/PhaseEnd fire once per phase (a
+// handful of times per run), Checks fires once per sub-algorithm with the
+// accumulated delta, and CacheStats fires once per PLI provider a strategy
+// retires, with that provider's cumulative counters. Observers are invoked
+// from the profiling goroutine; they need not be safe for concurrent use.
+//
+// Embed NopObserver to implement only the events of interest.
+type Observer interface {
+	// PhaseStart fires when the named phase begins. Fixpoint phases (the
+	// shadowed-FD rounds of MUDS) start and end once per round.
+	PhaseStart(name string)
+	// PhaseEnd fires when the named phase ends, with its wall time.
+	PhaseEnd(name string, d time.Duration)
+	// Checks reports delta data-touching validity checks (uniqueness tests,
+	// partition refinements). The deltas sum to Result.Checks.
+	Checks(delta int)
+	// CacheStats reports the final cache counters of one PLI provider used
+	// by the run. Strategies that build several providers (the sequential
+	// baseline) report one snapshot per provider.
+	CacheStats(stats pli.CacheStats)
+}
+
+// NopObserver is an Observer that ignores every event. Embed it to implement
+// only a subset of the interface.
+type NopObserver struct{}
+
+// PhaseStart implements Observer.
+func (NopObserver) PhaseStart(string) {}
+
+// PhaseEnd implements Observer.
+func (NopObserver) PhaseEnd(string, time.Duration) {}
+
+// Checks implements Observer.
+func (NopObserver) Checks(int) {}
+
+// CacheStats implements Observer.
+func (NopObserver) CacheStats(pli.CacheStats) {}

@@ -58,30 +58,6 @@ func (r *Result) PhaseDuration(name string) time.Duration {
 	return t
 }
 
-// phaseTimer accumulates named phase durations in insertion order.
-type phaseTimer struct {
-	phases []Phase
-	index  map[string]int
-}
-
-func newPhaseTimer() *phaseTimer {
-	return &phaseTimer{index: make(map[string]int)}
-}
-
-// time runs fn and accounts its wall time to the named phase, merging
-// repeated invocations of the same phase.
-func (t *phaseTimer) time(name string, fn func()) {
-	start := time.Now()
-	fn()
-	d := time.Since(start)
-	if i, ok := t.index[name]; ok {
-		t.phases[i].Duration += d
-		return
-	}
-	t.index[name] = len(t.phases)
-	t.phases = append(t.phases, Phase{Name: name, Duration: d})
-}
-
 // Canonical MUDS phase names (Figure 8 of the paper).
 const (
 	PhaseSpider           = "SPIDER"

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"holistic/internal/bitset"
 	"holistic/internal/fd"
 	"holistic/internal/pli"
@@ -12,6 +14,10 @@ import (
 // tree for connector look-ups and subset pruning (Sec. 5.4), and the FD
 // result store with per-rhs minimal-lhs families.
 type mudsFD struct {
+	// ctx governs cancellation: every task-queue loop of the FD phases polls
+	// it (via aborted) and drains early when it is done, so a deadline stops
+	// the run at the granularity of one minimisation task.
+	ctx     context.Context
 	p       *pli.Provider
 	working bitset.Set // non-constant columns
 	uccs    *settrie.MinimalFamily
@@ -37,6 +43,7 @@ type mudsFD struct {
 
 func newMudsFD(p *pli.Provider, working bitset.Set, minimalUCCs []bitset.Set, store *fd.Store, seed int64) *mudsFD {
 	m := &mudsFD{
+		ctx:             context.Background(),
 		p:               p,
 		working:         working,
 		uccs:            &settrie.MinimalFamily{},
@@ -53,6 +60,20 @@ func newMudsFD(p *pli.Provider, working bitset.Set, minimalUCCs []bitset.Set, st
 		m.z = m.z.Union(u)
 	}
 	return m
+}
+
+// aborted reports whether the run's context is done; the FD-phase loops poll
+// it between tasks and drain early when it is.
+func (m *mudsFD) aborted() bool { return m.ctx.Err() != nil }
+
+// run adapts a phase method to timePhase's signature: the phase runs to its
+// internal cancellation checks, and the context error (if any) is what the
+// engine reports.
+func (m *mudsFD) run(phase func()) func() error {
+	return func() error {
+		phase()
+		return m.ctx.Err()
+	}
 }
 
 // lhsFamily returns the minimal-lhs family for right-hand side a.

@@ -18,6 +18,9 @@ import (
 func (m *mudsFD) calculateRZ() {
 	rz := m.rzColumns()
 	for a := rz.First(); a >= 0; a = rz.NextAfter(a) {
+		if m.aborted() {
+			return
+		}
 		m.walkRHS(a, nil, nil)
 	}
 }
@@ -34,12 +37,17 @@ func (m *mudsFD) walkRHS(a int, knownTrue, knownFalse []bitset.Set) {
 		// set has the same closure, and its PLI is more likely cached.
 		return m.p.Get(m.canonicalLHS(s)).Refines(col)
 	}
-	res := walker.Run(base, pred, walker.Options{
+	res, err := walker.RunContext(m.ctx, base, pred, walker.Options{
 		Seed:       m.seed + int64(a)*7919,
 		KnownTrue:  knownTrue,
 		KnownFalse: knownFalse,
 	})
 	m.checks += res.Checks
+	if err != nil {
+		// A cancelled walk may report non-minimal left-hand sides; discard
+		// them rather than emit unverified FDs into the partial result.
+		return
+	}
 	for _, lhs := range res.MinimalTrue {
 		m.emit(lhs, a)
 	}

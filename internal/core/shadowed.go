@@ -47,6 +47,9 @@ func (m *mudsFD) generateShadowedTasks() []shadowTask {
 	// so the expensive UCC-stripping runs once per distinct set.
 	targets := make(map[bitset.Set]bitset.Set)
 	m.store.ForEach(func(flhs, frhs bitset.Set) bool {
+		if m.aborted() {
+			return false
+		}
 		if flhs.IsEmpty() {
 			return true // constant columns shadow nothing
 		}
@@ -67,6 +70,9 @@ func (m *mudsFD) generateShadowedTasks() []shadowTask {
 	}
 	bitset.Sort(newLhss)
 	for _, newLhs := range newLhss {
+		if m.aborted() {
+			return nil
+		}
 		frhs := targets[newLhs]
 		for _, reduced := range m.removeUCCsCached(newLhs) {
 			for a := frhs.First(); a >= 0; a = frhs.NextAfter(a) {
@@ -86,6 +92,9 @@ func (m *mudsFD) generateShadowedTasks() []shadowTask {
 	}
 	bitset.Sort(lhss)
 	for _, lhs := range lhss {
+		if m.aborted() {
+			return tasks
+		}
 		rhs := merged[lhs].Diff(lhs).Diff(m.shadowSeen[lhs])
 		if rhs.IsEmpty() {
 			continue // candidate already generated in an earlier round
@@ -164,6 +173,9 @@ func (m *mudsFD) removeUCCs(lhs bitset.Set) []bitset.Set {
 func (m *mudsFD) minimizeShadowed(tasks []shadowTask) {
 	queue := tasks
 	for len(queue) > 0 {
+		if m.aborted() {
+			return
+		}
 		t := queue[len(queue)-1]
 		queue = queue[:len(queue)-1]
 

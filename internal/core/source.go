@@ -1,0 +1,45 @@
+package core
+
+import (
+	"holistic/internal/relation"
+)
+
+// Source supplies the input relation of a profiling run. Load is called once
+// per algorithm that needs the data, so the sequential baseline — which runs
+// three independent algorithms — pays the input cost three times, exactly
+// the I/O duplication the holistic algorithms eliminate (paper Sec. 3).
+type Source interface {
+	// Name identifies the dataset.
+	Name() string
+	// Load parses/encodes the input and returns a fresh relation.
+	Load() (*relation.Relation, error)
+}
+
+// RelationSource wraps an already-loaded relation; Load re-encodes it from
+// its rows to simulate an input pass, so baseline-vs-holistic comparisons on
+// in-memory data still reflect shared-I/O savings.
+type RelationSource struct {
+	Rel *relation.Relation
+}
+
+// Name implements Source.
+func (s RelationSource) Name() string { return s.Rel.Name() }
+
+// Load implements Source by re-encoding the relation.
+func (s RelationSource) Load() (*relation.Relation, error) {
+	return relation.New(s.Rel.Name(), s.Rel.ColumnNames(), s.Rel.Rows())
+}
+
+// CSVSource loads a relation from a CSV file on every call.
+type CSVSource struct {
+	Path    string
+	Options relation.CSVOptions
+}
+
+// Name implements Source.
+func (s CSVSource) Name() string { return s.Path }
+
+// Load implements Source.
+func (s CSVSource) Load() (*relation.Relation, error) {
+	return relation.ReadCSVFile(s.Path, s.Options)
+}

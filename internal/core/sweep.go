@@ -28,6 +28,9 @@ import (
 func (m *mudsFD) completionSweep() {
 	rz := m.rzColumns()
 	for a := m.z.First(); a >= 0; a = m.z.NextAfter(a) {
+		if m.aborted() {
+			return
+		}
 		knownTrue := m.lhsFamily(a).All()
 
 		var knownFalse []bitset.Set

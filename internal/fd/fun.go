@@ -1,6 +1,8 @@
 package fd
 
 import (
+	"context"
+
 	"holistic/internal/bitset"
 	"holistic/internal/pli"
 	"holistic/internal/settrie"
@@ -17,7 +19,17 @@ import (
 // every minimal UCC is a free set, so collecting keys costs nothing extra.
 // This is exactly the Holistic FUN extension of paper Sec. 3.2.
 func Fun(p *pli.Provider) Result {
+	res, _ := FunContext(context.Background(), p)
+	return res
+}
+
+// FunContext runs FUN under a context: the level-wise loop polls ctx per
+// level and per counted candidate and stops promptly when ctx is cancelled
+// or its deadline passes, returning the partial result together with
+// ctx.Err(). On a non-nil error the FD and UCC lists are incomplete.
+func FunContext(ctx context.Context, p *pli.Provider) (Result, error) {
 	var res Result
+	var err error
 	rel := p.Relation()
 	n := rel.NumColumns()
 	store := NewStore()
@@ -35,6 +47,7 @@ func Fun(p *pli.Provider) Result {
 		}
 	} else if !working.IsEmpty() {
 		f := &funState{
+			ctx:     ctx,
 			p:       p,
 			working: working,
 			nRows:   rel.NumRows(),
@@ -42,16 +55,17 @@ func Fun(p *pli.Provider) Result {
 			store:   store,
 			res:     &res,
 		}
-		f.run()
+		err = f.run()
 		res.MinimalUCCs = f.keys.All()
 	}
 
 	res.FDs = store.All()
 	bitset.Sort(res.MinimalUCCs)
-	return res
+	return res, err
 }
 
 type funState struct {
+	ctx     context.Context
 	p       *pli.Provider
 	working bitset.Set
 	nRows   int
@@ -67,7 +81,7 @@ type funState struct {
 	res   *Result
 }
 
-func (f *funState) run() {
+func (f *funState) run() error {
 	// Level 1: every non-constant single column is a free set.
 	var level []bitset.Set
 	f.working.ForEach(func(c int) {
@@ -77,6 +91,9 @@ func (f *funState) run() {
 	})
 
 	for len(level) > 0 {
+		if err := f.ctx.Err(); err != nil {
+			return err
+		}
 		// Classify keys, then generate and count the next level, and only
 		// then emit this level's FDs: the validity check of x → a needs the
 		// true cardinality of x ∪ {a}, which for a free x ∪ {a} exists only
@@ -93,6 +110,11 @@ func (f *funState) run() {
 
 		var next []bitset.Set
 		for _, cand := range bitset.AprioriGen(expandable) {
+			// Counting a candidate touches PLIs; poll ctx at the same rate so
+			// a deadline interrupts wide levels, not only level boundaries.
+			if err := f.ctx.Err(); err != nil {
+				return err
+			}
 			if f.keys.CoversSubsetOf(cand) {
 				// Key pruning: supersets of keys have count nRows and are
 				// non-free; no PLI work needed.
@@ -112,6 +134,7 @@ func (f *funState) run() {
 		}
 		level = next
 	}
+	return nil
 }
 
 // isFree reports whether x with cardinality cnt is a free set: no direct

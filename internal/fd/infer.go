@@ -1,6 +1,8 @@
 package fd
 
 import (
+	"context"
+
 	"holistic/internal/bitset"
 	"holistic/internal/walker"
 )
@@ -47,10 +49,18 @@ func (s *Store) Implies(lhs bitset.Set, rhs int) bool {
 // paper Sec. 3.1 (which the paper rejects for its extra inference cost;
 // the cost is measurable with this implementation).
 func (s *Store) DeriveUCCs(all bitset.Set, seed int64) []bitset.Set {
+	uccs, _ := s.DeriveUCCsContext(context.Background(), all, seed)
+	return uccs
+}
+
+// DeriveUCCsContext derives the minimal UCCs under a context: the key walk
+// polls ctx between closure evaluations and stops promptly on cancellation,
+// returning the partial key list together with ctx.Err().
+func (s *Store) DeriveUCCsContext(ctx context.Context, all bitset.Set, seed int64) ([]bitset.Set, error) {
 	full := all
 	pred := func(u bitset.Set) bool {
 		return s.Closure(u).IsSupersetOf(full)
 	}
-	res := walker.Run(all, pred, walker.Options{Seed: seed})
-	return res.MinimalTrue
+	res, err := walker.RunContext(ctx, all, pred, walker.Options{Seed: seed})
+	return res.MinimalTrue, err
 }

@@ -1,6 +1,8 @@
 package fd
 
 import (
+	"context"
+
 	"holistic/internal/bitset"
 	"holistic/internal/pli"
 )
@@ -16,7 +18,17 @@ import (
 // contain further minimal UCCs, so this collection is diagnostic only; the
 // holistic algorithms use DUCC or FUN for complete UCC results.
 func Tane(p *pli.Provider, collectUCCs bool) Result {
+	res, _ := TaneContext(context.Background(), p, collectUCCs)
+	return res
+}
+
+// TaneContext runs TANE under a context: the level-wise loop polls ctx per
+// lattice node and stops promptly when ctx is cancelled or its deadline
+// passes, returning the partial result together with ctx.Err(). On a non-nil
+// error the FD list is incomplete.
+func TaneContext(ctx context.Context, p *pli.Provider, collectUCCs bool) (Result, error) {
 	var res Result
+	var err error
 	rel := p.Relation()
 	n := rel.NumColumns()
 	store := NewStore()
@@ -27,6 +39,7 @@ func Tane(p *pli.Provider, collectUCCs bool) Result {
 
 	if !working.IsEmpty() {
 		t := &taneState{
+			ctx:         ctx,
 			p:           p,
 			working:     working,
 			cplus:       make(map[bitset.Set]bitset.Set),
@@ -34,15 +47,16 @@ func Tane(p *pli.Provider, collectUCCs bool) Result {
 			res:         &res,
 			collectUCCs: collectUCCs,
 		}
-		t.run()
+		err = t.run()
 	}
 
 	res.FDs = store.All()
 	bitset.Sort(res.MinimalUCCs)
-	return res
+	return res, err
 }
 
 type taneState struct {
+	ctx     context.Context
 	p       *pli.Provider
 	working bitset.Set
 
@@ -57,13 +71,18 @@ type taneState struct {
 	collectUCCs bool
 }
 
-func (t *taneState) run() {
+func (t *taneState) run() error {
 	var level []bitset.Set
 	t.working.ForEach(func(c int) { level = append(level, bitset.Single(c)) })
 
 	for len(level) > 0 {
 		// COMPUTE_DEPENDENCIES: candidate rhs sets and validity checks.
 		for _, x := range level {
+			// Each node costs PLI work (cardinality checks); poll ctx at the
+			// same rate so a deadline interrupts wide levels promptly.
+			if err := t.ctx.Err(); err != nil {
+				return err
+			}
 			c := t.working
 			for _, sub := range x.DirectSubsets() {
 				c = c.Intersect(t.cplusOf(sub))
@@ -84,6 +103,9 @@ func (t *taneState) run() {
 		// PRUNE: drop empty-C+ nodes and keys; key pruning may emit FDs.
 		var remaining []bitset.Set
 		for _, x := range level {
+			if err := t.ctx.Err(); err != nil {
+				return err
+			}
 			if t.cplus[x].IsEmpty() {
 				continue
 			}
@@ -96,6 +118,7 @@ func (t *taneState) run() {
 
 		level = bitset.AprioriGen(remaining)
 	}
+	return nil
 }
 
 // cplusOf returns C+(y), reconstructing it recursively when y was never

@@ -2,6 +2,7 @@ package ind
 
 import (
 	"container/heap"
+	"context"
 
 	"holistic/internal/relation"
 )
@@ -12,9 +13,21 @@ import (
 // invalidates candidates by intersecting the attribute group of every value
 // (paper Sec. 2.1, Table 1).
 func Spider(rel *relation.Relation, opts Options) []IND {
+	inds, _ := SpiderContext(context.Background(), rel, opts)
+	return inds
+}
+
+// spiderPollInterval is how many merge steps pass between context polls: the
+// merge step itself is a handful of heap operations, so polling every step
+// would cost more than the work it guards.
+const spiderPollInterval = 1024
+
+// SpiderContext runs SPIDER under a context: the merge phase polls ctx every
+// spiderPollInterval steps and returns (nil, ctx.Err()) when cancelled.
+func SpiderContext(ctx context.Context, rel *relation.Relation, opts Options) ([]IND, error) {
 	n := rel.NumColumns()
 	if n == 0 {
-		return nil
+		return nil, nil
 	}
 	cs := newCandidateSets(n)
 
@@ -32,7 +45,12 @@ func Spider(rel *relation.Relation, opts Options) []IND {
 	heap.Init(h)
 
 	group := make([]int, 0, n)
-	for h.Len() > 0 && cs.pending > 0 {
+	for steps := 0; h.Len() > 0 && cs.pending > 0; steps++ {
+		if steps%spiderPollInterval == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		// Pop every cursor whose current value equals the minimum: these
 		// attributes exclusively contain the value.
 		minVal := h.items[0].current()
@@ -57,7 +75,7 @@ func Spider(rel *relation.Relation, opts Options) []IND {
 	// holding values cannot depend on exhausted columns; pending>0 exits the
 	// loop early only when every candidate set is already empty, so no
 	// correction is needed here.
-	return cs.results()
+	return cs.results(), nil
 }
 
 type cursor struct {

@@ -1,0 +1,148 @@
+package pli
+
+import (
+	"sync"
+
+	"holistic/internal/bitset"
+)
+
+// Cache is the pluggable storage behind a Provider's multi-column PLIs. The
+// single-column PLIs and the empty-set PLI live outside the cache and are
+// never evicted; a Cache only sees sets with two or more columns.
+//
+// Implementations count their own probe outcomes so that eviction policies
+// can be compared without touching the Provider: Counters reports how many
+// Get calls hit, how many missed, and how many entries eviction dropped. A
+// probe is one Get call — the Provider probes subsets while assembling a PLI,
+// so misses exceed the number of distinct sets requested by callers.
+type Cache interface {
+	// Get returns the cached PLI of s, if present.
+	Get(s bitset.Set) (*PLI, bool)
+	// Put stores the PLI of s, evicting other entries if needed.
+	Put(s bitset.Set, pli *PLI)
+	// Len returns the number of cached entries.
+	Len() int
+	// Counters returns the accumulated hit/miss/eviction counts.
+	Counters() (hits, misses, evictions int64)
+}
+
+// CacheStats is a point-in-time snapshot of a Provider's cache behaviour,
+// combining the cache's own probe counters with the Provider's intersection
+// count. It is the payload of the engine's Observer cache hook and of the
+// benchmark harness' cache metrics.
+type CacheStats struct {
+	// Hits and Misses count cache probes (see Cache.Counters).
+	Hits   int64
+	Misses int64
+	// Evictions counts entries dropped by the eviction policy.
+	Evictions int64
+	// Entries is the current number of cached multi-column PLIs.
+	Entries int
+	// Intersections counts the column intersections the Provider performed —
+	// the work the cache exists to avoid.
+	Intersections int64
+}
+
+// MapCache is the default Cache: a bounded map with a cheap random-replacement
+// policy. When the bound is reached, roughly half the entries are dropped;
+// map iteration order is effectively random, which serves as the replacement
+// choice. It is not safe for concurrent use; wrap it in a SyncCache to share
+// a Provider across goroutines.
+type MapCache struct {
+	entries    map[bitset.Set]*PLI
+	maxEntries int
+
+	hits, misses, evictions int64
+}
+
+// NewMapCache builds a MapCache bounded to maxEntries cached PLIs.
+// maxEntries <= 0 selects DefaultCacheEntries.
+func NewMapCache(maxEntries int) *MapCache {
+	if maxEntries <= 0 {
+		maxEntries = DefaultCacheEntries
+	}
+	return &MapCache{
+		entries:    make(map[bitset.Set]*PLI),
+		maxEntries: maxEntries,
+	}
+}
+
+// Get implements Cache.
+func (c *MapCache) Get(s bitset.Set) (*PLI, bool) {
+	pli, ok := c.entries[s]
+	if ok {
+		c.hits++
+	} else {
+		c.misses++
+	}
+	return pli, ok
+}
+
+// Put implements Cache, evicting roughly half the entries when full.
+func (c *MapCache) Put(s bitset.Set, pli *PLI) {
+	if len(c.entries) >= c.maxEntries {
+		drop := len(c.entries) / 2
+		for k := range c.entries {
+			if drop == 0 {
+				break
+			}
+			delete(c.entries, k)
+			c.evictions++
+			drop--
+		}
+	}
+	c.entries[s] = pli
+}
+
+// Len implements Cache.
+func (c *MapCache) Len() int { return len(c.entries) }
+
+// Counters implements Cache.
+func (c *MapCache) Counters() (hits, misses, evictions int64) {
+	return c.hits, c.misses, c.evictions
+}
+
+// SyncCache wraps another Cache with a mutex, making it safe for concurrent
+// use. It is the concurrency-safe variant that slots into a Provider via
+// NewProviderWithCache without touching any caller.
+type SyncCache struct {
+	mu    sync.Mutex
+	inner Cache
+}
+
+// NewSyncCache wraps inner in a SyncCache. inner == nil wraps a fresh
+// default-sized MapCache.
+func NewSyncCache(inner Cache) *SyncCache {
+	if inner == nil {
+		inner = NewMapCache(0)
+	}
+	return &SyncCache{inner: inner}
+}
+
+// Get implements Cache.
+func (c *SyncCache) Get(s bitset.Set) (*PLI, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.inner.Get(s)
+}
+
+// Put implements Cache.
+func (c *SyncCache) Put(s bitset.Set, pli *PLI) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.inner.Put(s, pli)
+}
+
+// Len implements Cache.
+func (c *SyncCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.inner.Len()
+}
+
+// Counters implements Cache.
+func (c *SyncCache) Counters() (hits, misses, evictions int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.inner.Counters()
+}

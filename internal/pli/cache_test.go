@@ -1,0 +1,132 @@
+package pli
+
+import (
+	"sync"
+	"testing"
+
+	"holistic/internal/bitset"
+	"holistic/internal/relation"
+)
+
+func cacheTestRelation(t *testing.T) *relation.Relation {
+	t.Helper()
+	rows := [][]string{
+		{"a", "1", "x", "p"},
+		{"a", "2", "y", "p"},
+		{"b", "1", "x", "q"},
+		{"b", "2", "y", "q"},
+		{"c", "3", "x", "p"},
+	}
+	r, err := relation.New("cache", []string{"A", "B", "C", "D"}, rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestMapCacheCounters(t *testing.T) {
+	c := NewMapCache(4)
+	s := bitset.New(0, 1)
+	if _, ok := c.Get(s); ok {
+		t.Fatal("unexpected hit on empty cache")
+	}
+	c.Put(s, FromAllRows(3))
+	if _, ok := c.Get(s); !ok {
+		t.Fatal("expected hit after Put")
+	}
+	hits, misses, evictions := c.Counters()
+	if hits != 1 || misses != 1 || evictions != 0 {
+		t.Fatalf("counters = %d/%d/%d, want 1/1/0", hits, misses, evictions)
+	}
+}
+
+func TestMapCacheEviction(t *testing.T) {
+	c := NewMapCache(4)
+	for i := 0; i < 4; i++ {
+		c.Put(bitset.New(i, i+1), FromAllRows(2))
+	}
+	if c.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", c.Len())
+	}
+	// The fifth Put drops half the entries before inserting.
+	c.Put(bitset.New(10, 11), FromAllRows(2))
+	if c.Len() != 3 {
+		t.Fatalf("Len after eviction = %d, want 3", c.Len())
+	}
+	if _, _, evictions := c.Counters(); evictions != 2 {
+		t.Fatalf("evictions = %d, want 2", evictions)
+	}
+}
+
+func TestMapCacheDefaultBound(t *testing.T) {
+	if c := NewMapCache(0); c.maxEntries != DefaultCacheEntries {
+		t.Fatalf("maxEntries = %d, want %d", c.maxEntries, DefaultCacheEntries)
+	}
+}
+
+// TestProviderCacheStats checks that the snapshot agrees with the Provider's
+// own counters: Entries matches CachedEntries, Intersections matches the
+// public field, and repeated Gets turn into hits.
+func TestProviderCacheStats(t *testing.T) {
+	p := NewProvider(cacheTestRelation(t), 8)
+	s := bitset.New(0, 1, 2)
+	p.Get(s)
+	first := p.CacheStats()
+	if first.Intersections != p.Intersections {
+		t.Errorf("Intersections = %d, want %d", first.Intersections, p.Intersections)
+	}
+	if first.Entries != p.CachedEntries() {
+		t.Errorf("Entries = %d, want %d", first.Entries, p.CachedEntries())
+	}
+	if first.Hits != 0 || first.Misses == 0 {
+		t.Errorf("first Get of %v must only miss, got %+v", s, first)
+	}
+	p.Get(s)
+	second := p.CacheStats()
+	if second.Hits != first.Hits+1 {
+		t.Errorf("repeated Get: hits %d, want %d", second.Hits, first.Hits+1)
+	}
+	if second.Intersections != first.Intersections {
+		t.Errorf("repeated Get recomputed: %d intersections, want %d", second.Intersections, first.Intersections)
+	}
+}
+
+// TestProviderWithNilCache verifies the default-cache fallback.
+func TestProviderWithNilCache(t *testing.T) {
+	p := NewProviderWithCache(cacheTestRelation(t), nil)
+	if !p.IsUnique(bitset.New(0, 1)) {
+		t.Error("A,B must be unique")
+	}
+}
+
+// TestSyncCacheConcurrent hammers a SyncCache from several goroutines; run
+// under -race this proves the wrapper makes any inner Cache shareable.
+func TestSyncCacheConcurrent(t *testing.T) {
+	c := NewSyncCache(NewMapCache(16))
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				s := bitset.New(i%6, i%6+1+g%3)
+				if _, ok := c.Get(s); !ok {
+					c.Put(s, FromAllRows(2))
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	hits, misses, _ := c.Counters()
+	if hits+misses != 8*200 {
+		t.Fatalf("probes = %d, want %d", hits+misses, 8*200)
+	}
+}
+
+func TestSyncCacheNilInner(t *testing.T) {
+	c := NewSyncCache(nil)
+	c.Put(bitset.New(0, 1), FromAllRows(2))
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", c.Len())
+	}
+}

@@ -14,13 +14,15 @@ import (
 // cached, extend it with one column intersection; otherwise fold over X's
 // columns in ascending order, caching every prefix. Random-walk neighbours
 // therefore cost one intersection in the common case.
+//
+// The multi-column store behind Get is a pluggable Cache (see cache.go);
+// NewProvider uses the bounded MapCache, NewProviderWithCache slots in any
+// other policy, including the mutex-guarded SyncCache.
 type Provider struct {
 	rel    *relation.Relation
 	single []*PLI
 	empty  *PLI
-	cache  map[bitset.Set]*PLI
-
-	maxEntries int
+	cache  Cache
 
 	// Intersections counts column intersections performed; exposed for the
 	// evaluation harness and tests.
@@ -31,18 +33,23 @@ type Provider struct {
 // single-column PLIs are always retained.
 const DefaultCacheEntries = 4096
 
-// NewProvider builds a Provider for rel. maxEntries <= 0 selects
-// DefaultCacheEntries.
+// NewProvider builds a Provider for rel with the default bounded map cache.
+// maxEntries <= 0 selects DefaultCacheEntries.
 func NewProvider(rel *relation.Relation, maxEntries int) *Provider {
-	if maxEntries <= 0 {
-		maxEntries = DefaultCacheEntries
+	return NewProviderWithCache(rel, NewMapCache(maxEntries))
+}
+
+// NewProviderWithCache builds a Provider that stores multi-column PLIs in the
+// given cache. cache == nil selects a default-sized MapCache.
+func NewProviderWithCache(rel *relation.Relation, cache Cache) *Provider {
+	if cache == nil {
+		cache = NewMapCache(0)
 	}
 	p := &Provider{
-		rel:        rel,
-		single:     make([]*PLI, rel.NumColumns()),
-		empty:      FromAllRows(rel.NumRows()),
-		cache:      make(map[bitset.Set]*PLI),
-		maxEntries: maxEntries,
+		rel:    rel,
+		single: make([]*PLI, rel.NumColumns()),
+		empty:  FromAllRows(rel.NumRows()),
+		cache:  cache,
 	}
 	for c := 0; c < rel.NumColumns(); c++ {
 		p.single[c] = FromColumn(rel.Column(c), rel.Cardinality(c))
@@ -65,7 +72,7 @@ func (p *Provider) Get(s bitset.Set) *PLI {
 	case 1:
 		return p.single[s.First()]
 	}
-	if pli, ok := p.cache[s]; ok {
+	if pli, ok := p.cache.Get(s); ok {
 		return pli
 	}
 	// Fast path: extend a cached direct subset by one column.
@@ -74,7 +81,7 @@ func (p *Provider) Get(s bitset.Set) *PLI {
 		if base, ok := p.lookup(sub); ok {
 			pli := base.IntersectColumn(p.rel.Column(c))
 			p.Intersections++
-			p.put(s, pli)
+			p.cache.Put(s, pli)
 			return pli
 		}
 	}
@@ -90,7 +97,7 @@ func (p *Provider) Get(s bitset.Set) *PLI {
 		}
 		pli = pli.IntersectColumn(p.rel.Column(c))
 		p.Intersections++
-		p.put(prefix, pli)
+		p.cache.Put(prefix, pli)
 	}
 	return pli
 }
@@ -102,29 +109,25 @@ func (p *Provider) lookup(s bitset.Set) (*PLI, bool) {
 	case 1:
 		return p.single[s.First()], true
 	}
-	pli, ok := p.cache[s]
-	return pli, ok
-}
-
-func (p *Provider) put(s bitset.Set, pli *PLI) {
-	if len(p.cache) >= p.maxEntries {
-		// Evict roughly half the entries. Map iteration order is effectively
-		// random, which serves as a cheap random-replacement policy; the
-		// single-column PLIs live outside the cache and are never evicted.
-		drop := len(p.cache) / 2
-		for k := range p.cache {
-			if drop == 0 {
-				break
-			}
-			delete(p.cache, k)
-			drop--
-		}
-	}
-	p.cache[s] = pli
+	return p.cache.Get(s)
 }
 
 // CachedEntries returns the number of multi-column PLIs currently cached.
-func (p *Provider) CachedEntries() int { return len(p.cache) }
+func (p *Provider) CachedEntries() int { return p.cache.Len() }
+
+// CacheStats snapshots the cache behaviour of this Provider: probe hits and
+// misses, evictions, the current entry count, and the intersections
+// performed. The snapshot is what the engine reports to its Observer.
+func (p *Provider) CacheStats() CacheStats {
+	hits, misses, evictions := p.cache.Counters()
+	return CacheStats{
+		Hits:          hits,
+		Misses:        misses,
+		Evictions:     evictions,
+		Entries:       p.cache.Len(),
+		Intersections: p.Intersections,
+	}
+}
 
 // IsUnique reports whether s is a unique column combination.
 func (p *Provider) IsUnique(s bitset.Set) bool {

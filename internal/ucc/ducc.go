@@ -1,6 +1,8 @@
 package ucc
 
 import (
+	"context"
+
 	"holistic/internal/pli"
 	"holistic/internal/walker"
 )
@@ -17,11 +19,21 @@ import (
 // The seed fixes the randomized traversal order; results are independent of
 // it (verified by property tests), only the visit order varies.
 func Ducc(p *pli.Provider, seed int64) Result {
+	res, _ := DuccContext(context.Background(), p, seed)
+	return res
+}
+
+// DuccContext runs DUCC under a context: the random walk polls ctx between
+// uniqueness checks and stops promptly when ctx is cancelled or its deadline
+// passes, returning the partial result together with ctx.Err(). On a non-nil
+// error the result is progress information, not a complete (or even minimal)
+// UCC cover.
+func DuccContext(ctx context.Context, p *pli.Provider, seed int64) (Result, error) {
 	base := p.Relation().AllColumns()
-	res := walker.Run(base, p.IsUnique, walker.Options{Seed: seed})
+	res, err := walker.RunContext(ctx, base, p.IsUnique, walker.Options{Seed: seed})
 	return Result{
 		Minimal:          res.MinimalTrue,
 		MaximalNonUnique: res.MaximalFalse,
 		Checks:           res.Checks,
-	}
+	}, err
 }

@@ -13,6 +13,7 @@
 package walker
 
 import (
+	"context"
 	"math/rand"
 
 	"holistic/internal/bitset"
@@ -52,9 +53,22 @@ type Options struct {
 	KnownFalse []bitset.Set
 }
 
-// Run learns the monotone predicate over the subsets of base.
+// Run learns the monotone predicate over the subsets of base. It cannot be
+// cancelled; long traversals should use RunContext.
 func Run(base bitset.Set, pred Predicate, opts Options) Result {
+	res, _ := RunContext(context.Background(), base, pred, opts)
+	return res
+}
+
+// RunContext learns the monotone predicate over the subsets of base,
+// checking ctx between predicate evaluations. When ctx is cancelled or its
+// deadline passes, the walk stops promptly and returns the partial Result
+// together with ctx.Err(). A partial result may miss certificates and may
+// contain non-minimal (resp. non-maximal) sets — on a non-nil error the
+// families are progress information, not answers.
+func RunContext(ctx context.Context, base bitset.Set, pred Predicate, opts Options) (Result, error) {
 	w := &state{
+		ctx:  ctx,
 		base: base,
 		pred: pred,
 		rng:  rand.New(rand.NewSource(opts.Seed)),
@@ -75,16 +89,32 @@ func Run(base bitset.Set, pred Predicate, opts Options) Result {
 	bitset.Sort(res.MinimalTrue)
 	res.MaximalFalse = w.falses.All()
 	bitset.Sort(res.MaximalFalse)
-	return res
+	return res, w.err
 }
 
 type state struct {
+	ctx    context.Context
 	base   bitset.Set
 	pred   Predicate
 	rng    *rand.Rand
 	trues  settrie.MinimalFamily
 	falses settrie.MaximalFamily
 	checks int
+	err    error
+}
+
+// cancelled reports whether the walk should stop, latching ctx's error. The
+// ctx poll costs a mutex acquisition, which every caller amortises over at
+// least one predicate evaluation (a PLI operation in the profiling walks).
+func (w *state) cancelled() bool {
+	if w.err != nil {
+		return true
+	}
+	if err := w.ctx.Err(); err != nil {
+		w.err = err
+		return true
+	}
+	return false
 }
 
 func (w *state) run() {
@@ -95,6 +125,9 @@ func (w *state) run() {
 	// singles seed the walk.
 	var falseSingles []int
 	w.base.ForEach(func(c int) {
+		if w.cancelled() {
+			return
+		}
 		s := bitset.Single(c)
 		if _, known := w.classified(s); known {
 			// Pre-seeded certificate already decides this column.
@@ -121,12 +154,15 @@ func (w *state) run() {
 	}
 	w.rng.Shuffle(len(seeds), func(i, j int) { seeds[i], seeds[j] = seeds[j], seeds[i] })
 	for _, s := range seeds {
+		if w.cancelled() {
+			return
+		}
 		w.walk(s)
 	}
 
 	// Phase 3: fill holes until the minimal hitting sets of the complements
 	// of the maximal false sets coincide with the found minimal true sets.
-	for w.fillHoles() {
+	for !w.cancelled() && w.fillHoles() {
 	}
 }
 
@@ -156,6 +192,9 @@ func (w *state) resolve(s bitset.Set) bool {
 // walk classifies s and records the minimal-true or maximal-false endpoint
 // reached from it. It reports whether a new certificate entered the stores.
 func (w *state) walk(s bitset.Set) bool {
+	if w.cancelled() {
+		return false
+	}
 	if _, known := w.classified(s); known {
 		return false
 	}
@@ -167,7 +206,7 @@ func (w *state) walk(s bitset.Set) bool {
 
 // minimize walks down from the true set s until no direct subset is true.
 func (w *state) minimize(s bitset.Set) bitset.Set {
-	for {
+	for !w.cancelled() {
 		cols := s.Columns()
 		w.rng.Shuffle(len(cols), func(i, j int) { cols[i], cols[j] = cols[j], cols[i] })
 		descended := false
@@ -187,12 +226,13 @@ func (w *state) minimize(s bitset.Set) bitset.Set {
 			return s
 		}
 	}
+	return s // cancelled mid-descent: partial, reported via the walk's error
 }
 
 // maximize walks up from the false set s until every direct superset within
 // base is true.
 func (w *state) maximize(s bitset.Set) bitset.Set {
-	for {
+	for !w.cancelled() {
 		missing := w.base.Diff(s).Columns()
 		w.rng.Shuffle(len(missing), func(i, j int) { missing[i], missing[j] = missing[j], missing[i] })
 		ascended := false
@@ -208,6 +248,7 @@ func (w *state) maximize(s bitset.Set) bitset.Set {
 			return s
 		}
 	}
+	return s // cancelled mid-ascent: partial, reported via the walk's error
 }
 
 func (w *state) fillHoles() bool {

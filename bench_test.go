@@ -7,6 +7,8 @@ package holistic
 
 import (
 	"context"
+	"fmt"
+	"runtime"
 	"testing"
 
 	"holistic/internal/core"
@@ -111,6 +113,31 @@ func BenchmarkFigure8Phases(b *testing.B) {
 	}
 	for _, name := range order {
 		b.ReportMetric(totals[name]/float64(b.N), name+"-s/op")
+	}
+}
+
+// BenchmarkParallelScaling measures the worker-pool speedup of the parallel
+// phases: MUDS on the ncvoter-like dataset at workers=1 versus all CPUs.
+// cmd/experiments -parallel runs the full series (more datasets and worker
+// counts) and writes the measurements to BENCH_parallel.json.
+func BenchmarkParallelScaling(b *testing.B) {
+	rel := dataset.NCVoter(2000, 16)
+	src := core.RelationSource{Rel: rel}
+	for _, workers := range []int{1, runtime.GOMAXPROCS(0)} {
+		b.Run(fmt.Sprintf("muds/workers=%d", workers), func(b *testing.B) {
+			var metrics cacheMetrics
+			for i := 0; i < b.N; i++ {
+				res, err := core.RunContext(context.Background(), core.StrategyMuds, src,
+					core.Options{Seed: int64(i), Workers: workers}, &metrics)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(res.FDs) == 0 {
+					b.Fatal("no FDs found")
+				}
+			}
+			metrics.report(b)
+		})
 	}
 }
 

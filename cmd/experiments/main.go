@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	experiments [-fig6] [-fig7] [-table3] [-fig8] [-sweep] [-all]
+//	experiments [-fig6] [-fig7] [-table3] [-fig8] [-sweep] [-parallel] [-all]
 //	            [-scale f] [-full] [-seed n]
 //
 // By default every experiment runs at a reduced scale that finishes in a few
@@ -21,17 +21,19 @@ import (
 
 func main() {
 	var (
-		fig6   = flag.Bool("fig6", false, "row scalability on uniprot (Figure 6)")
-		fig7   = flag.Bool("fig7", false, "column scalability on ionosphere (Figure 7)")
-		table3 = flag.Bool("table3", false, "UCI dataset comparison (Table 3)")
-		fig8   = flag.Bool("fig8", false, "MUDS phase breakdown on ncvoter (Figure 8)")
-		sweep  = flag.Bool("sweep", false, "dataset-property ablation (Section 6.5)")
-		all    = flag.Bool("all", false, "run every experiment")
-		full   = flag.Bool("full", false, "paper-scale parameters (slow)")
-		seed   = flag.Int64("seed", 1, "random-walk seed")
+		fig6    = flag.Bool("fig6", false, "row scalability on uniprot (Figure 6)")
+		fig7    = flag.Bool("fig7", false, "column scalability on ionosphere (Figure 7)")
+		table3  = flag.Bool("table3", false, "UCI dataset comparison (Table 3)")
+		fig8    = flag.Bool("fig8", false, "MUDS phase breakdown on ncvoter (Figure 8)")
+		sweep   = flag.Bool("sweep", false, "dataset-property ablation (Section 6.5)")
+		par     = flag.Bool("parallel", false, "worker-pool scaling benchmark (writes BENCH_parallel.json)")
+		parJSON = flag.String("parallel-json", "BENCH_parallel.json", "output path of the -parallel measurements (empty = no file)")
+		all     = flag.Bool("all", false, "run every experiment")
+		full    = flag.Bool("full", false, "paper-scale parameters (slow)")
+		seed    = flag.Int64("seed", 1, "random-walk seed")
 	)
 	flag.Parse()
-	if !(*fig6 || *fig7 || *table3 || *fig8 || *sweep || *all) {
+	if !(*fig6 || *fig7 || *table3 || *fig8 || *sweep || *par || *all) {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -85,6 +87,11 @@ func main() {
 	}
 	if *all || *sweep {
 		_, err := experiments.PropertySweep(w, *seed)
+		fail(err)
+		fmt.Fprintln(w)
+	}
+	if *all || *par {
+		_, err := experiments.ParallelBench(w, *parJSON, nil, *seed)
 		fail(err)
 		fmt.Fprintln(w)
 	}

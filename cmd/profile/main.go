@@ -5,7 +5,7 @@
 // Usage:
 //
 //	profile [-algorithm name] [-timeout d] [-sep ,] [-no-header]
-//	        [-max-rows N] [-stats] [-timings] [-seed N]
+//	        [-max-rows N] [-stats] [-timings] [-seed N] [-workers N]
 //	        [-nary K] [-approx eps] file.csv
 //
 // The strategy names accepted by -algorithm come from the engine registry;
@@ -39,6 +39,7 @@ func main() {
 		withStats = flag.Bool("stats", false, "also print single-column statistics")
 		timings   = flag.Bool("timings", false, "print per-phase timings")
 		seed      = flag.Int64("seed", 0, "random-walk seed (results are seed-independent)")
+		workers   = flag.Int("workers", 0, "worker pool size for the parallel phases (0 = all CPUs, 1 = sequential; results are identical for every value)")
 		naryArity = flag.Int("nary", 0, "also discover n-ary INDs up to this arity (0 = off)")
 		approxEps = flag.Float64("approx", 0, "also discover approximate FDs with g3 error ≤ eps (0 = off)")
 		asJSON    = flag.Bool("json", false, "emit the result as JSON instead of text")
@@ -68,7 +69,7 @@ func main() {
 			Comma:     rune((*sep)[0]),
 			HasHeader: !*noHeader,
 			MaxRows:   *maxRows,
-			Relation:  relation.Options{DistinctNulls: *sqlNulls},
+			Relation:  relation.Options{DistinctNulls: *sqlNulls, Workers: *workers},
 		},
 	}
 	ctx := context.Background()
@@ -77,7 +78,7 @@ func main() {
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
 	}
-	res, err := core.RunContext(ctx, *algorithm, src, core.Options{Seed: *seed}, nil)
+	res, err := core.RunContext(ctx, *algorithm, src, core.Options{Seed: *seed, Workers: *workers}, nil)
 	if err != nil {
 		if errors.Is(err, context.DeadlineExceeded) {
 			fmt.Fprintf(os.Stderr, "profile: timed out after %v (partial results discarded)\n", *timeout)

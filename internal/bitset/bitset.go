@@ -116,6 +116,23 @@ func (s Set) IsEmpty() bool {
 	return true
 }
 
+// Hash returns a 64-bit hash of s (FNV-1a over the words). The sharded PLI
+// cache uses it to pick a shard; it is not a cryptographic hash.
+func (s Set) Hash() uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, w := range s.w {
+		for shift := 0; shift < 64; shift += 8 {
+			h ^= (w >> shift) & 0xff
+			h *= prime64
+		}
+	}
+	return h
+}
+
 // Len returns |s|.
 func (s Set) Len() int {
 	n := 0

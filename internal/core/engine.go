@@ -119,6 +119,8 @@ func (r *recorder) Checks(delta int) {
 
 func (r *recorder) CacheStats(stats pli.CacheStats) { r.user.CacheStats(stats) }
 
+func (r *recorder) Parallelism(phase string, workers int) { r.user.Parallelism(phase, workers) }
+
 // finish writes the accumulated phases and checks into res.
 func (r *recorder) finish(res *Result) {
 	res.Phases = r.phases

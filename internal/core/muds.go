@@ -6,6 +6,7 @@ import (
 	"holistic/internal/bitset"
 	"holistic/internal/fd"
 	"holistic/internal/ind"
+	"holistic/internal/parallel"
 	"holistic/internal/pli"
 	"holistic/internal/relation"
 	"holistic/internal/ucc"
@@ -20,6 +21,27 @@ type Options struct {
 	IND ind.Options
 	// CacheEntries bounds the shared PLI cache (0 = default).
 	CacheEntries int
+	// Workers bounds the worker pool of the parallel phases: single-column
+	// PLI construction, FUN/TANE per-level candidate validation, and the
+	// per-right-hand-side R\Z and completion-sweep walks of MUDS. <= 0
+	// selects runtime.GOMAXPROCS(0). The discovered IND/UCC/FD sets are
+	// identical for every value; only wall time (and cache statistics)
+	// varies. With Workers > 1 the strategies back the shared PLI provider
+	// with a ShardedCache so it is safe to share across the pool.
+	Workers int
+}
+
+// workerCount resolves Workers to an effective pool width.
+func (o Options) workerCount() int { return parallel.Workers(o.Workers) }
+
+// newProvider builds the PLI provider for one strategy run: sharded and
+// concurrency-safe when the run fans out, the cheaper single-goroutine
+// MapCache when it stays sequential.
+func (o Options) newProvider(rel *relation.Relation) *pli.Provider {
+	if w := o.workerCount(); w > 1 {
+		return pli.NewConcurrentProvider(rel, o.CacheEntries, w)
+	}
+	return pli.NewProvider(rel, o.CacheEntries)
 }
 
 // Muds runs the full holistic MUDS algorithm (paper Sec. 5) on a loaded
@@ -50,19 +72,23 @@ func MudsContext(ctx context.Context, rel *relation.Relation, opts Options, obs 
 // assembles them into the Result).
 func mudsProfile(ctx context.Context, rel *relation.Relation, opts Options, obs Observer) (*Result, error) {
 	res := &Result{}
+	workers := opts.workerCount()
 
 	var p *pli.Provider
 	err := timePhase(ctx, obs, PhaseSpider, func() error {
 		// SPIDER consumes the sorted duplicate-free value lists; the PLIs
 		// are built in the same pass over the input (paper Sec. 5: "Since
 		// this algorithm already requires to read and sort all records,
-		// Muds also builds the PLIs in this step").
+		// Muds also builds the PLIs in this step"). The sort and the
+		// single-column PLI construction fan out per column; the merge
+		// itself is sequential.
+		obs.Parallelism(PhaseSpider, workers)
 		inds, err := ind.SpiderContext(ctx, rel, opts.IND)
 		if err != nil {
 			return err
 		}
 		res.INDs = inds
-		p = pli.NewProvider(rel, opts.CacheEntries)
+		p = opts.newProvider(rel)
 		return nil
 	})
 	if err != nil {
@@ -72,6 +98,9 @@ func mudsProfile(ctx context.Context, rel *relation.Relation, opts Options, obs 
 
 	var uccRes ucc.Result
 	err = timePhase(ctx, obs, PhaseDucc, func() error {
+		// The DUCC random walk is sequential by construction: every step
+		// extends the certificate tries the next step prunes with.
+		obs.Parallelism(PhaseDucc, 1)
 		var err error
 		uccRes, err = ucc.DuccContext(ctx, p, opts.Seed)
 		obs.Checks(uccRes.Checks)
@@ -90,6 +119,7 @@ func mudsProfile(ctx context.Context, rel *relation.Relation, opts Options, obs 
 		working := rel.AllColumns().Diff(constants)
 		m := newMudsFD(p, working, res.UCCs, store, opts.Seed)
 		m.ctx = ctx
+		m.workers = workers
 		err = mudsFDPhases(ctx, m, store, obs)
 		obs.Checks(m.checks)
 	}
@@ -101,10 +131,23 @@ func mudsProfile(ctx context.Context, rel *relation.Relation, opts Options, obs 
 // mudsFDPhases runs the three FD phases of MUDS (paper Sec. 5) plus the
 // completion sweep, stopping at the first phase that reports cancellation.
 func mudsFDPhases(ctx context.Context, m *mudsFD, store *fd.Store, obs Observer) error {
-	if err := timePhase(ctx, obs, PhaseMinimizeFDs, m.run(m.minimizeFDs)); err != nil {
+	// minimizeFDs and the shadowed-FD fixpoint work off shared task queues
+	// whose tasks prune each other (processed/shadowSeen dedup maps, emitted
+	// FDs feeding connector look-ups), so they stay sequential; the per-RHS
+	// walks of calculateRZ and the completion sweep are independent and fan
+	// out across the worker pool.
+	err := timePhase(ctx, obs, PhaseMinimizeFDs, m.run(func() {
+		obs.Parallelism(PhaseMinimizeFDs, 1)
+		m.minimizeFDs()
+	}))
+	if err != nil {
 		return err
 	}
-	if err := timePhase(ctx, obs, PhaseCalculateRZ, m.run(m.calculateRZ)); err != nil {
+	err = timePhase(ctx, obs, PhaseCalculateRZ, m.run(func() {
+		obs.Parallelism(PhaseCalculateRZ, m.workerCount())
+		m.calculateRZ()
+	}))
+	if err != nil {
 		return err
 	}
 
@@ -113,6 +156,7 @@ func mudsFDPhases(ctx context.Context, m *mudsFD, store *fd.Store, obs Observer)
 	for {
 		var tasks []shadowTask
 		err := timePhase(ctx, obs, PhaseGenerateShadowed, func() error {
+			obs.Parallelism(PhaseGenerateShadowed, 1)
 			tasks = m.generateShadowedTasks()
 			return m.ctx.Err()
 		})
@@ -121,6 +165,7 @@ func mudsFDPhases(ctx context.Context, m *mudsFD, store *fd.Store, obs Observer)
 		}
 		before := store.Count()
 		err = timePhase(ctx, obs, PhaseMinimizeShadowed, m.run(func() {
+			obs.Parallelism(PhaseMinimizeShadowed, 1)
 			m.minimizeShadowed(tasks)
 		}))
 		if err != nil {
@@ -132,5 +177,8 @@ func mudsFDPhases(ctx context.Context, m *mudsFD, store *fd.Store, obs Observer)
 	}
 
 	// Guarantee the complete minimal cover (see sweep.go).
-	return timePhase(ctx, obs, PhaseCompletionSweep, m.run(m.completionSweep))
+	return timePhase(ctx, obs, PhaseCompletionSweep, m.run(func() {
+		obs.Parallelism(PhaseCompletionSweep, m.workerCount())
+		m.completionSweep()
+	}))
 }

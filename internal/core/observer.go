@@ -31,6 +31,11 @@ type Observer interface {
 	// by the run. Strategies that build several providers (the sequential
 	// baseline) report one snapshot per provider.
 	CacheStats(stats pli.CacheStats)
+	// Parallelism reports the worker count a phase runs with, once per
+	// phase, right after the phase starts. Inherently sequential phases
+	// (the DUCC random walk, the shadowed-FD fixpoint) report 1, so the
+	// event stream documents exactly which parts of a run fan out.
+	Parallelism(phase string, workers int)
 }
 
 // NopObserver is an Observer that ignores every event. Embed it to implement
@@ -48,3 +53,6 @@ func (NopObserver) Checks(int) {}
 
 // CacheStats implements Observer.
 func (NopObserver) CacheStats(pli.CacheStats) {}
+
+// Parallelism implements Observer.
+func (NopObserver) Parallelism(string, int) {}

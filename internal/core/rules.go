@@ -5,6 +5,7 @@ import (
 
 	"holistic/internal/bitset"
 	"holistic/internal/fd"
+	"holistic/internal/parallel"
 	"holistic/internal/pli"
 	"holistic/internal/settrie"
 )
@@ -39,6 +40,11 @@ type mudsFD struct {
 	shadowSeen      map[bitset.Set]bitset.Set
 	shadowProcessed map[bitset.Set]bitset.Set
 	removeUCCCache  map[bitset.Set][]bitset.Set
+
+	// workers bounds the worker pool of the per-RHS walk phases
+	// (calculateRZ, completionSweep); <= 0 selects GOMAXPROCS. The task
+	// queues of the other phases stay sequential regardless.
+	workers int
 }
 
 func newMudsFD(p *pli.Provider, working bitset.Set, minimalUCCs []bitset.Set, store *fd.Store, seed int64) *mudsFD {
@@ -65,6 +71,9 @@ func newMudsFD(p *pli.Provider, working bitset.Set, minimalUCCs []bitset.Set, st
 // aborted reports whether the run's context is done; the FD-phase loops poll
 // it between tasks and drain early when it is.
 func (m *mudsFD) aborted() bool { return m.ctx.Err() != nil }
+
+// workerCount resolves the effective pool width for the walk phases.
+func (m *mudsFD) workerCount() int { return parallel.Workers(m.workers) }
 
 // run adapts a phase method to timePhase's signature: the phase runs to its
 // internal cancellation checks, and the context error (if any) is what the

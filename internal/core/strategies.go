@@ -33,21 +33,24 @@ func init() {
 // FUN extended to also return the minimal UCCs it traverses.
 func hfunProfile(ctx context.Context, rel *relation.Relation, opts Options, obs Observer) (*Result, error) {
 	res := &Result{}
+	workers := opts.workerCount()
 	var p *pli.Provider
 	err := timePhase(ctx, obs, PhaseSpider, func() error {
+		obs.Parallelism(PhaseSpider, workers)
 		inds, err := ind.SpiderContext(ctx, rel, opts.IND)
 		if err != nil {
 			return err
 		}
 		res.INDs = inds
-		p = pli.NewProvider(rel, opts.CacheEntries)
+		p = opts.newProvider(rel)
 		return nil
 	})
 	if err != nil {
 		return res, err
 	}
 	err = timePhase(ctx, obs, PhaseFDDiscovery, func() error {
-		r, err := fd.FunContext(ctx, p)
+		obs.Parallelism(PhaseFDDiscovery, workers)
+		r, err := fd.FunContext(ctx, p, workers)
 		res.FDs = r.FDs
 		res.UCCs = r.MinimalUCCs
 		obs.Checks(r.Checks)
@@ -66,6 +69,7 @@ func hfunProfile(ctx context.Context, rel *relation.Relation, opts Options, obs 
 // strategies share.
 func baselineProfile(ctx context.Context, rel *relation.Relation, opts Options, obs Observer) (*Result, error) {
 	res := &Result{}
+	workers := opts.workerCount()
 
 	reload := func() (*relation.Relation, error) {
 		var fresh *relation.Relation
@@ -79,6 +83,7 @@ func baselineProfile(ctx context.Context, rel *relation.Relation, opts Options, 
 
 	// SPIDER on the harness-loaded relation.
 	err := timePhase(ctx, obs, PhaseSpider, func() error {
+		obs.Parallelism(PhaseSpider, workers)
 		inds, err := ind.SpiderContext(ctx, rel, opts.IND)
 		res.INDs = inds
 		return err
@@ -93,6 +98,7 @@ func baselineProfile(ctx context.Context, rel *relation.Relation, opts Options, 
 		return res, err
 	}
 	err = timePhase(ctx, obs, PhaseUCCDiscovery, func() error {
+		obs.Parallelism(PhaseUCCDiscovery, 1)
 		p := pli.NewProvider(duccRel, opts.CacheEntries)
 		defer func() { obs.CacheStats(p.CacheStats()) }()
 		r, err := ucc.DuccContext(ctx, p, opts.Seed)
@@ -111,9 +117,10 @@ func baselineProfile(ctx context.Context, rel *relation.Relation, opts Options, 
 		return res, err
 	}
 	err = timePhase(ctx, obs, PhaseFDDiscovery, func() error {
-		p := pli.NewProvider(funRel, opts.CacheEntries)
+		obs.Parallelism(PhaseFDDiscovery, workers)
+		p := opts.newProvider(funRel)
 		defer func() { obs.CacheStats(p.CacheStats()) }()
-		r, err := fd.FunContext(ctx, p)
+		r, err := fd.FunContext(ctx, p, workers)
 		res.FDs = r.FDs
 		obs.Checks(r.Checks)
 		return err
@@ -129,7 +136,9 @@ func baselineProfile(ctx context.Context, rel *relation.Relation, opts Options, 
 // measurable (the "uccInference" phase).
 func fdFirstProfile(ctx context.Context, rel *relation.Relation, opts Options, obs Observer) (*Result, error) {
 	res := &Result{}
+	workers := opts.workerCount()
 	err := timePhase(ctx, obs, PhaseSpider, func() error {
+		obs.Parallelism(PhaseSpider, workers)
 		inds, err := ind.SpiderContext(ctx, rel, opts.IND)
 		res.INDs = inds
 		return err
@@ -139,9 +148,10 @@ func fdFirstProfile(ctx context.Context, rel *relation.Relation, opts Options, o
 	}
 	var store *fd.Store
 	err = timePhase(ctx, obs, PhaseFDDiscovery, func() error {
-		p := pli.NewProvider(rel, opts.CacheEntries)
+		obs.Parallelism(PhaseFDDiscovery, workers)
+		p := opts.newProvider(rel)
 		defer func() { obs.CacheStats(p.CacheStats()) }()
-		r, err := fd.FunContext(ctx, p)
+		r, err := fd.FunContext(ctx, p, workers)
 		res.FDs = r.FDs
 		obs.Checks(r.Checks)
 		if err != nil {
@@ -157,6 +167,7 @@ func fdFirstProfile(ctx context.Context, rel *relation.Relation, opts Options, o
 		return res, err
 	}
 	err = timePhase(ctx, obs, PhaseUCCInference, func() error {
+		obs.Parallelism(PhaseUCCInference, 1)
 		uccs, err := store.DeriveUCCsContext(ctx, rel.AllColumns(), opts.Seed)
 		res.UCCs = uccs
 		return err
@@ -168,10 +179,12 @@ func fdFirstProfile(ctx context.Context, rel *relation.Relation, opts Options, o
 // column). It discovers FDs only.
 func taneProfile(ctx context.Context, rel *relation.Relation, opts Options, obs Observer) (*Result, error) {
 	res := &Result{}
+	workers := opts.workerCount()
 	err := timePhase(ctx, obs, PhaseFDDiscovery, func() error {
-		p := pli.NewProvider(rel, opts.CacheEntries)
+		obs.Parallelism(PhaseFDDiscovery, workers)
+		p := opts.newProvider(rel)
 		defer func() { obs.CacheStats(p.CacheStats()) }()
-		r, err := fd.TaneContext(ctx, p, false)
+		r, err := fd.TaneContext(ctx, p, false, workers)
 		res.FDs = r.FDs
 		obs.Checks(r.Checks)
 		return err

@@ -2,6 +2,7 @@ package core
 
 import (
 	"holistic/internal/bitset"
+	"holistic/internal/parallel"
 )
 
 // completionSweep closes the completeness gap left by the shadowed-FD phase.
@@ -25,9 +26,19 @@ import (
 //
 // When the earlier phases already found everything (the common case), the
 // walk only certifies the boundary below the known left-hand sides.
+//
+// The per-RHS walks are independent — a walk for right-hand side a emits
+// only a's FDs, which no other walk's certificates or predicate depend on —
+// so they fan out across the worker pool. Certificate seeds are collected
+// sequentially first (the family look-ups lazily create entries), each walk
+// writes its outcome into an indexed slot, and the emissions are applied in
+// RHS order, keeping the result identical for every worker count.
 func (m *mudsFD) completionSweep() {
 	rz := m.rzColumns()
-	for a := m.z.First(); a >= 0; a = m.z.NextAfter(a) {
+	zCols := m.z.Columns()
+	trueSeeds := make([][]bitset.Set, len(zCols))
+	falseSeeds := make([][]bitset.Set, len(zCols))
+	for i, a := range zCols {
 		if m.aborted() {
 			return
 		}
@@ -56,6 +67,15 @@ func (m *mudsFD) completionSweep() {
 		// Recycle every failure certificate the earlier phases recorded.
 		knownFalse = append(knownFalse, m.falseFamily(a).All()...)
 
-		m.walkRHS(a, knownTrue, knownFalse)
+		trueSeeds[i] = knownTrue
+		falseSeeds[i] = knownFalse
+	}
+
+	walks := make([]walkOutcome, len(zCols))
+	parallel.For(m.ctx, m.workerCount(), len(zCols), func(i int) {
+		walks[i] = m.walkRHS(zCols[i], trueSeeds[i], falseSeeds[i])
+	})
+	for i, a := range zCols {
+		m.applyWalk(a, walks[i])
 	}
 }

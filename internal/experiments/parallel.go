@@ -1,0 +1,136 @@
+package experiments
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"reflect"
+	"runtime"
+	"time"
+
+	"holistic/internal/core"
+	"holistic/internal/dataset"
+	"holistic/internal/pli"
+	"holistic/internal/relation"
+)
+
+// ParallelMeasurement is one (dataset, algorithm, workers) timing of the
+// parallel-scaling benchmark, serialised into BENCH_parallel.json.
+type ParallelMeasurement struct {
+	Dataset       string  `json:"dataset"`
+	Algorithm     string  `json:"algorithm"`
+	Workers       int     `json:"workers"`
+	WallSeconds   float64 `json:"wall_seconds"`
+	Speedup       float64 `json:"speedup_vs_workers_1"`
+	Checks        int     `json:"checks"`
+	FDs           int     `json:"fds"`
+	UCCs          int     `json:"uccs"`
+	INDs          int     `json:"inds"`
+	CacheHits     int64   `json:"cache_hits"`
+	CacheMisses   int64   `json:"cache_misses"`
+	Intersections int64   `json:"pli_intersections"`
+}
+
+// parallelReport is the top-level BENCH_parallel.json document.
+type parallelReport struct {
+	GOMAXPROCS   int                   `json:"gomaxprocs"`
+	Measurements []ParallelMeasurement `json:"measurements"`
+}
+
+// parallelObserver captures the check totals and cache statistics of one run.
+type parallelObserver struct {
+	core.NopObserver
+	checks int
+	stats  pli.CacheStats
+}
+
+func (o *parallelObserver) Checks(delta int)            { o.checks += delta }
+func (o *parallelObserver) CacheStats(s pli.CacheStats) { o.stats = s }
+
+// ParallelBench measures the wall-time scaling of the parallel phases: every
+// (dataset, algorithm) pair runs once per worker count, the discovered
+// IND/UCC/FD sets are required to be identical across all worker counts (the
+// engine's determinism contract), and the measurements are written to
+// jsonPath as machine-readable JSON (empty path = no file). workerCounts nil
+// selects 1, 2, 4, ..., GOMAXPROCS.
+func ParallelBench(w io.Writer, jsonPath string, workerCounts []int, seed int64) ([]ParallelMeasurement, error) {
+	if workerCounts == nil {
+		for n := 1; n < runtime.GOMAXPROCS(0); n *= 2 {
+			workerCounts = append(workerCounts, n)
+		}
+		workerCounts = append(workerCounts, runtime.GOMAXPROCS(0))
+	}
+
+	type bench struct {
+		rel        *relation.Relation
+		algorithms []string
+	}
+	benches := []bench{
+		{dataset.NCVoter(2000, 16), []string{core.StrategyMuds, core.StrategyHolisticFun}},
+		{dataset.Uniprot(20000), []string{core.StrategyMuds}},
+	}
+
+	fmt.Fprintln(w, "Parallel scaling — worker-pool speedup on the shared-PLI strategies")
+	fmt.Fprintf(w, "%-10s %-6s %8s %10s %8s %10s %12s %12s\n",
+		"dataset", "algo", "workers", "wall", "speedup", "checks", "cache-hits", "intersects")
+
+	var out []ParallelMeasurement
+	for _, bm := range benches {
+		for _, algo := range bm.algorithms {
+			var baseline *core.Result
+			var baseSeconds float64
+			for _, workers := range workerCounts {
+				obs := &parallelObserver{}
+				src := core.RelationSource{Rel: bm.rel}
+				start := time.Now()
+				res, err := core.RunContext(context.Background(), algo, src, core.Options{Seed: seed, Workers: workers}, obs)
+				wall := time.Since(start)
+				if err != nil {
+					return nil, fmt.Errorf("%s/%s workers=%d: %w", bm.rel.Name(), algo, workers, err)
+				}
+				if baseline == nil {
+					baseline = res
+					baseSeconds = wall.Seconds()
+				} else if !reflect.DeepEqual(res.FDs, baseline.FDs) ||
+					!reflect.DeepEqual(res.UCCs, baseline.UCCs) ||
+					!reflect.DeepEqual(res.INDs, baseline.INDs) {
+					return nil, fmt.Errorf("%s/%s workers=%d: results differ from workers=%d",
+						bm.rel.Name(), algo, workers, workerCounts[0])
+				}
+				m := ParallelMeasurement{
+					Dataset:       bm.rel.Name(),
+					Algorithm:     algo,
+					Workers:       workers,
+					WallSeconds:   wall.Seconds(),
+					Speedup:       baseSeconds / wall.Seconds(),
+					Checks:        obs.checks,
+					FDs:           len(res.FDs),
+					UCCs:          len(res.UCCs),
+					INDs:          len(res.INDs),
+					CacheHits:     obs.stats.Hits,
+					CacheMisses:   obs.stats.Misses,
+					Intersections: obs.stats.Intersections,
+				}
+				out = append(out, m)
+				fmt.Fprintf(w, "%-10s %-6s %8d %9.2fs %7.2fx %10d %12d %12d\n",
+					m.Dataset, m.Algorithm, m.Workers, m.WallSeconds, m.Speedup,
+					m.Checks, m.CacheHits, m.Intersections)
+			}
+		}
+	}
+
+	if jsonPath != "" {
+		doc := parallelReport{GOMAXPROCS: runtime.GOMAXPROCS(0), Measurements: out}
+		data, err := json.MarshalIndent(doc, "", "  ")
+		if err != nil {
+			return nil, err
+		}
+		if err := os.WriteFile(jsonPath, append(data, '\n'), 0o644); err != nil {
+			return nil, err
+		}
+		fmt.Fprintf(w, "wrote %s\n", jsonPath)
+	}
+	return out, nil
+}

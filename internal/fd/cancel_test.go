@@ -18,7 +18,7 @@ func TestTaneContextDeadline(t *testing.T) {
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
 	defer cancel()
 	start := time.Now()
-	_, err := TaneContext(ctx, p, false)
+	_, err := TaneContext(ctx, p, false, 1)
 	elapsed := time.Since(start)
 	if !errors.Is(err, context.DeadlineExceeded) {
 		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
@@ -36,7 +36,7 @@ func TestFunContextDeadline(t *testing.T) {
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
 	defer cancel()
 	start := time.Now()
-	_, err := FunContext(ctx, p)
+	_, err := FunContext(ctx, p, 1)
 	elapsed := time.Since(start)
 	if !errors.Is(err, context.DeadlineExceeded) {
 		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
@@ -49,7 +49,7 @@ func TestFunContextDeadline(t *testing.T) {
 func TestTaneContextBackgroundMatchesPlain(t *testing.T) {
 	rel := dataset.NCVoter(200, 8)
 	plain := Tane(pli.NewProvider(rel, 0), true)
-	ctxed, err := TaneContext(context.Background(), pli.NewProvider(rel, 0), true)
+	ctxed, err := TaneContext(context.Background(), pli.NewProvider(rel, 0), true, 1)
 	if err != nil {
 		t.Fatal(err)
 	}

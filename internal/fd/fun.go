@@ -4,6 +4,7 @@ import (
 	"context"
 
 	"holistic/internal/bitset"
+	"holistic/internal/parallel"
 	"holistic/internal/pli"
 	"holistic/internal/settrie"
 )
@@ -19,7 +20,7 @@ import (
 // every minimal UCC is a free set, so collecting keys costs nothing extra.
 // This is exactly the Holistic FUN extension of paper Sec. 3.2.
 func Fun(p *pli.Provider) Result {
-	res, _ := FunContext(context.Background(), p)
+	res, _ := FunContext(context.Background(), p, 1)
 	return res
 }
 
@@ -27,7 +28,14 @@ func Fun(p *pli.Provider) Result {
 // level and per counted candidate and stops promptly when ctx is cancelled
 // or its deadline passes, returning the partial result together with
 // ctx.Err(). On a non-nil error the FD and UCC lists are incomplete.
-func FunContext(ctx context.Context, p *pli.Provider) (Result, error) {
+//
+// workers bounds the goroutines counting candidate cardinalities within one
+// level (<= 0 selects GOMAXPROCS). Each candidate writes its count into its
+// own indexed slot and the slots are applied in candidate order, so the
+// discovered FDs and UCCs are identical for every worker count. With
+// workers > 1 the provider's cache must be safe for concurrent use (see the
+// pli.Provider concurrency contract).
+func FunContext(ctx context.Context, p *pli.Provider, workers int) (Result, error) {
 	var res Result
 	var err error
 	rel := p.Relation()
@@ -51,6 +59,7 @@ func FunContext(ctx context.Context, p *pli.Provider) (Result, error) {
 			p:       p,
 			working: working,
 			nRows:   rel.NumRows(),
+			workers: workers,
 			counts:  map[bitset.Set]int{{}: 1},
 			store:   store,
 			res:     &res,
@@ -69,6 +78,7 @@ type funState struct {
 	p       *pli.Provider
 	working bitset.Set
 	nRows   int
+	workers int
 
 	// counts holds |X|_r for every computed set: all free sets and the
 	// non-free "boundary" candidates classified during generation. Counts of
@@ -108,23 +118,39 @@ func (f *funState) run() error {
 			expandable = append(expandable, x)
 		}
 
-		var next []bitset.Set
-		for _, cand := range bitset.AprioriGen(expandable) {
-			// Counting a candidate touches PLIs; poll ctx at the same rate so
-			// a deadline interrupts wide levels, not only level boundaries.
-			if err := f.ctx.Err(); err != nil {
-				return err
-			}
+		// Count the candidates of the next level across the worker pool:
+		// every candidate is independent given the shared provider (f.keys
+		// and the subset counts are read-only here), so each one writes its
+		// cardinality into its own indexed slot. The slots are then applied
+		// in candidate order, making the level's outcome — and with it the
+		// whole run — independent of worker scheduling. parallel.For also
+		// polls ctx per candidate, so a deadline interrupts wide levels, not
+		// only level boundaries.
+		cands := bitset.AprioriGen(expandable)
+		counted := make([]int, len(cands))
+		checked := make([]bool, len(cands))
+		err := parallel.For(f.ctx, f.workers, len(cands), func(i int) {
+			cand := cands[i]
 			if f.keys.CoversSubsetOf(cand) {
 				// Key pruning: supersets of keys have count nRows and are
 				// non-free; no PLI work needed.
-				f.counts[cand] = f.nRows
+				counted[i] = f.nRows
+				return
+			}
+			checked[i] = true
+			counted[i] = f.p.Cardinality(cand)
+		})
+		if err != nil {
+			return err
+		}
+		var next []bitset.Set
+		for i, cand := range cands {
+			f.counts[cand] = counted[i]
+			if !checked[i] {
 				continue
 			}
 			f.res.Checks++
-			cnt := f.p.Cardinality(cand)
-			f.counts[cand] = cnt
-			if f.isFree(cand, cnt) {
+			if f.isFree(cand, counted[i]) {
 				next = append(next, cand)
 			}
 		}

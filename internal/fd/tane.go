@@ -4,6 +4,7 @@ import (
 	"context"
 
 	"holistic/internal/bitset"
+	"holistic/internal/parallel"
 	"holistic/internal/pli"
 )
 
@@ -18,7 +19,7 @@ import (
 // contain further minimal UCCs, so this collection is diagnostic only; the
 // holistic algorithms use DUCC or FUN for complete UCC results.
 func Tane(p *pli.Provider, collectUCCs bool) Result {
-	res, _ := TaneContext(context.Background(), p, collectUCCs)
+	res, _ := TaneContext(context.Background(), p, collectUCCs, 1)
 	return res
 }
 
@@ -26,7 +27,14 @@ func Tane(p *pli.Provider, collectUCCs bool) Result {
 // lattice node and stops promptly when ctx is cancelled or its deadline
 // passes, returning the partial result together with ctx.Err(). On a non-nil
 // error the FD list is incomplete.
-func TaneContext(ctx context.Context, p *pli.Provider, collectUCCs bool) (Result, error) {
+//
+// workers bounds the goroutines validating the lattice nodes of one level
+// (<= 0 selects GOMAXPROCS). Every node's candidate computation and the
+// uniqueness probe of the prune step write into indexed slots applied in
+// node order, so the discovered FDs are identical for every worker count.
+// With workers > 1 the provider's cache must be safe for concurrent use (see
+// the pli.Provider concurrency contract).
+func TaneContext(ctx context.Context, p *pli.Provider, collectUCCs bool, workers int) (Result, error) {
 	var res Result
 	var err error
 	rel := p.Relation()
@@ -42,6 +50,7 @@ func TaneContext(ctx context.Context, p *pli.Provider, collectUCCs bool) (Result
 			ctx:         ctx,
 			p:           p,
 			working:     working,
+			workers:     workers,
 			cplus:       make(map[bitset.Set]bitset.Set),
 			store:       store,
 			res:         &res,
@@ -59,6 +68,7 @@ type taneState struct {
 	ctx     context.Context
 	p       *pli.Provider
 	working bitset.Set
+	workers int
 
 	// cplus holds the rhs-candidate sets C+(X) of every set processed so
 	// far, plus on-demand reconstructions for sets that key pruning removed
@@ -76,40 +86,81 @@ func (t *taneState) run() error {
 	t.working.ForEach(func(c int) { level = append(level, bitset.Single(c)) })
 
 	for len(level) > 0 {
-		// COMPUTE_DEPENDENCIES: candidate rhs sets and validity checks.
+		// Resolve C+ of every direct subset up front: cplusOf memoises
+		// reconstructions of pruned sets into the shared map, which must not
+		// happen inside the worker pool. After this pass the parallel phase
+		// only reads the map.
 		for _, x := range level {
-			// Each node costs PLI work (cardinality checks); poll ctx at the
-			// same rate so a deadline interrupts wide levels promptly.
 			if err := t.ctx.Err(); err != nil {
 				return err
 			}
+			for _, sub := range x.DirectSubsets() {
+				t.cplusOf(sub)
+			}
+		}
+
+		// COMPUTE_DEPENDENCIES: candidate rhs sets and validity checks, one
+		// lattice node per worker-pool task. A node reads only the previous
+		// level's C+ sets and the shared provider; its verdicts (the final
+		// C+(x) and the FDs found at x) land in indexed slots and are applied
+		// in node order below, so the run is deterministic for every worker
+		// count. parallel.For polls ctx per node, preserving the sequential
+		// version's cancellation granularity.
+		type nodeVerdict struct {
+			cplus  bitset.Set // final C+(x)
+			valid  bitset.Set // attributes a with x\{a} → a valid
+			checks int
+		}
+		verdicts := make([]nodeVerdict, len(level))
+		err := parallel.For(t.ctx, t.workers, len(level), func(i int) {
+			x := level[i]
 			c := t.working
 			for _, sub := range x.DirectSubsets() {
-				c = c.Intersect(t.cplusOf(sub))
+				c = c.Intersect(t.cplusRead(sub))
 			}
+			var valid bitset.Set
+			checks := 0
 			candidates := x.Intersect(c)
 			for a := candidates.First(); a >= 0; a = candidates.NextAfter(a) {
 				lhs := x.Without(a)
-				t.res.Checks++
+				checks++
 				if t.p.Cardinality(lhs) == t.p.Cardinality(x) {
-					t.store.Add(lhs, a)
+					valid = valid.With(a)
 					c = c.Without(a)
 					c = c.Diff(t.working.Diff(x)) // remove all B ∈ R \ X
 				}
 			}
-			t.cplus[x] = c
+			verdicts[i] = nodeVerdict{cplus: c, valid: valid, checks: checks}
+		})
+		if err != nil {
+			return err
+		}
+		for i, x := range level {
+			v := verdicts[i]
+			t.res.Checks += v.checks
+			v.valid.ForEach(func(a int) { t.store.Add(x.Without(a), a) })
+			t.cplus[x] = v.cplus
 		}
 
-		// PRUNE: drop empty-C+ nodes and keys; key pruning may emit FDs.
-		var remaining []bitset.Set
-		for _, x := range level {
-			if err := t.ctx.Err(); err != nil {
-				return err
+		// PRUNE: drop empty-C+ nodes and keys; key pruning may emit FDs. The
+		// uniqueness probes are PLI work and fan out across the pool; the
+		// key handling itself reconstructs C+ sets (map writes) and stays
+		// sequential, applied in node order.
+		unique := make([]bool, len(level))
+		err = parallel.For(t.ctx, t.workers, len(level), func(i int) {
+			if !t.cplus[level[i]].IsEmpty() {
+				unique[i] = t.p.IsUnique(level[i])
 			}
+		})
+		if err != nil {
+			return err
+		}
+		var remaining []bitset.Set
+		for i, x := range level {
 			if t.cplus[x].IsEmpty() {
 				continue
 			}
-			if t.p.IsUnique(x) {
+			if unique[i] {
 				t.handleKey(x)
 				continue
 			}
@@ -119,6 +170,16 @@ func (t *taneState) run() error {
 		level = bitset.AprioriGen(remaining)
 	}
 	return nil
+}
+
+// cplusRead returns C+(y) without touching the memoisation map: every
+// non-empty direct subset was resolved by the sequential pre-pass, so a plain
+// map read suffices and is safe inside the worker pool.
+func (t *taneState) cplusRead(y bitset.Set) bitset.Set {
+	if y.IsEmpty() {
+		return t.working // C+(∅) = R
+	}
+	return t.cplus[y]
 }
 
 // cplusOf returns C+(y), reconstructing it recursively when y was never

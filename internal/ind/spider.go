@@ -31,6 +31,12 @@ func SpiderContext(ctx context.Context, rel *relation.Relation, opts Options) ([
 	}
 	cs := newCandidateSets(n)
 
+	// SPIDER's sorting phase: build every column's sorted duplicate-free
+	// value list up front, one column per worker (the relation parallelizes
+	// this internally). The cooperative merge below is inherently sequential
+	// — it consumes one globally minimal value at a time.
+	rel.EnsureSortedValues()
+
 	// Cursors over the sorted duplicate-free value lists.
 	h := &cursorHeap{}
 	for c := 0; c < n; c++ {

@@ -1,0 +1,78 @@
+// Package parallel provides the bounded worker pool shared by the
+// parallelized hot paths of the profiler: per-column dictionary encoding and
+// PLI construction, the per-candidate validations of the level-wise FD
+// algorithms, and the per-right-hand-side sub-lattice walks of MUDS.
+//
+// The design rule for callers is "indexed slots, not shared slices": every
+// task i writes its result into position i of a pre-sized result slice, and
+// the caller applies the slots in index order after the pool drains. Worker
+// scheduling then influences only wall time — discovered dependency sets are
+// byte-identical for every worker count, which the equivalence tests assert.
+package parallel
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers normalizes a worker-count option: values <= 0 select
+// runtime.GOMAXPROCS(0), everything else is returned unchanged.
+func Workers(n int) int {
+	if n <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// For runs fn(0), fn(1), ..., fn(n-1) across at most workers goroutines and
+// blocks until every started task returned. Tasks are claimed from an atomic
+// counter, so the pool stays busy even when task costs are skewed.
+//
+// Cancellation: no new task starts once ctx is done, and For returns
+// ctx.Err(); tasks already running are not interrupted (fn should poll ctx
+// itself inside long loops). On a non-nil error some slots were never
+// written — callers must discard the partial results.
+//
+// With workers <= 1 (or n <= 1) the tasks run inline on the calling
+// goroutine, in index order, with the same per-task cancellation check; the
+// sequential and parallel paths are therefore observationally identical.
+func For(ctx context.Context, workers, n int, fn func(i int)) error {
+	if n <= 0 {
+		return ctx.Err()
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 || n == 1 {
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			fn(i)
+		}
+		return nil
+	}
+
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				if ctx.Err() != nil {
+					return
+				}
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	return ctx.Err()
+}

@@ -1,0 +1,108 @@
+package parallel
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestWorkers(t *testing.T) {
+	if got := Workers(0); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(0) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Workers(-3); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(-3) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Workers(5); got != 5 {
+		t.Errorf("Workers(5) = %d, want 5", got)
+	}
+}
+
+// TestForCoversEverySlotOnce runs the pool at several widths and checks every
+// index is visited exactly once — the invariant the indexed-slot pattern
+// rests on.
+func TestForCoversEverySlotOnce(t *testing.T) {
+	const n = 1000
+	for _, workers := range []int{1, 2, 8, n + 7} {
+		visits := make([]int32, n)
+		err := For(context.Background(), workers, n, func(i int) {
+			atomic.AddInt32(&visits[i], 1)
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: unexpected error %v", workers, err)
+		}
+		for i, v := range visits {
+			if v != 1 {
+				t.Fatalf("workers=%d: slot %d visited %d times", workers, i, v)
+			}
+		}
+	}
+}
+
+func TestForSequentialOrder(t *testing.T) {
+	var order []int
+	if err := For(context.Background(), 1, 5, func(i int) { order = append(order, i) }); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("inline path ran out of order: %v", order)
+		}
+	}
+}
+
+func TestForZeroTasks(t *testing.T) {
+	if err := For(context.Background(), 4, 0, func(int) { t.Fatal("called") }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestForCancellation checks that a done context stops dispatch promptly and
+// surfaces the context error, both inline and pooled.
+func TestForCancellation(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		ctx, cancel := context.WithCancel(context.Background())
+		var ran atomic.Int64
+		err := For(ctx, workers, 100000, func(i int) {
+			if ran.Add(1) == 3 {
+				cancel()
+			}
+		})
+		cancel()
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+		if got := ran.Load(); got >= 100000 {
+			t.Fatalf("workers=%d: cancellation did not stop dispatch (%d tasks ran)", workers, got)
+		}
+	}
+}
+
+func TestForAlreadyCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	called := false
+	err := For(ctx, 4, 10, func(int) { called = true })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// The pooled path may admit a task between the error check and claim;
+	// the inline path must not.
+	if err := For(ctx, 1, 10, func(int) { t.Fatal("inline task ran on dead context") }); !errors.Is(err, context.Canceled) {
+		t.Fatalf("inline err = %v, want context.Canceled", err)
+	}
+	_ = called
+}
+
+// TestForDeadline exercises the pool under a deadline that fires mid-run.
+func TestForDeadline(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer cancel()
+	err := For(ctx, 4, 1<<30, func(i int) { time.Sleep(10 * time.Microsecond) })
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+}

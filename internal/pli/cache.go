@@ -1,6 +1,7 @@
 package pli
 
 import (
+	"runtime"
 	"sync"
 
 	"holistic/internal/bitset"
@@ -145,4 +146,102 @@ func (c *SyncCache) Counters() (hits, misses, evictions int64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.inner.Counters()
+}
+
+// ShardedCache spreads entries over a power-of-two number of independently
+// locked shards, so concurrent workers probing disjoint column combinations
+// rarely contend on the same mutex. Each shard is its own bounded MapCache
+// with its own counters; Counters and Len aggregate across shards, which is
+// how the per-shard counts surface in a Provider's CacheStats.
+//
+// The shard of a set is chosen by bitset.Set.Hash, so repeated probes of the
+// same combination always hit the same shard and eviction pressure stays
+// local to hot shards.
+type ShardedCache struct {
+	shards []shard
+	mask   uint64
+}
+
+type shard struct {
+	mu    sync.Mutex
+	inner *MapCache
+	// Pad shards to their own cache lines so two cores probing neighbouring
+	// shards do not false-share the mutex words.
+	_ [40]byte
+}
+
+// NewShardedCache builds a ShardedCache with at least shardCount shards
+// (rounded up to a power of two; <= 0 selects the next power of two above
+// runtime.GOMAXPROCS). maxEntries bounds the total cached PLIs across all
+// shards (<= 0 selects DefaultCacheEntries); each shard is bounded to its
+// equal split of the total.
+func NewShardedCache(shardCount, maxEntries int) *ShardedCache {
+	if shardCount <= 0 {
+		shardCount = runtime.GOMAXPROCS(0)
+	}
+	n := 1
+	for n < shardCount {
+		n <<= 1
+	}
+	if maxEntries <= 0 {
+		maxEntries = DefaultCacheEntries
+	}
+	perShard := maxEntries / n
+	if perShard < 1 {
+		perShard = 1
+	}
+	c := &ShardedCache{shards: make([]shard, n), mask: uint64(n - 1)}
+	for i := range c.shards {
+		c.shards[i].inner = NewMapCache(perShard)
+	}
+	return c
+}
+
+// NumShards returns the number of shards (a power of two).
+func (c *ShardedCache) NumShards() int { return len(c.shards) }
+
+func (c *ShardedCache) shardFor(s bitset.Set) *shard {
+	return &c.shards[s.Hash()&c.mask]
+}
+
+// Get implements Cache.
+func (c *ShardedCache) Get(s bitset.Set) (*PLI, bool) {
+	sh := c.shardFor(s)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.inner.Get(s)
+}
+
+// Put implements Cache.
+func (c *ShardedCache) Put(s bitset.Set, pli *PLI) {
+	sh := c.shardFor(s)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	sh.inner.Put(s, pli)
+}
+
+// Len implements Cache, summing the shard sizes.
+func (c *ShardedCache) Len() int {
+	total := 0
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		total += sh.inner.Len()
+		sh.mu.Unlock()
+	}
+	return total
+}
+
+// Counters implements Cache, aggregating the per-shard counters.
+func (c *ShardedCache) Counters() (hits, misses, evictions int64) {
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		h, m, e := sh.inner.Counters()
+		sh.mu.Unlock()
+		hits += h
+		misses += m
+		evictions += e
+	}
+	return hits, misses, evictions
 }

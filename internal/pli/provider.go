@@ -1,7 +1,11 @@
 package pli
 
 import (
+	"context"
+	"sync/atomic"
+
 	"holistic/internal/bitset"
+	"holistic/internal/parallel"
 	"holistic/internal/relation"
 )
 
@@ -17,16 +21,27 @@ import (
 //
 // The multi-column store behind Get is a pluggable Cache (see cache.go);
 // NewProvider uses the bounded MapCache, NewProviderWithCache slots in any
-// other policy, including the mutex-guarded SyncCache.
+// other policy, including the mutex-guarded SyncCache and the ShardedCache.
+//
+// Concurrency contract: after construction the Provider itself is immutable
+// except for the intersection counter (updated atomically) and the cache.
+// Get, IsUnique, Cardinality, CheckFD and CheckFDs are therefore safe to call
+// from multiple goroutines if and only if the configured Cache is safe for
+// concurrent use (SyncCache, ShardedCache). With the plain MapCache the
+// Provider is single-goroutine only. Concurrent Gets of the same uncached
+// combination may duplicate an intersection — both goroutines compute and
+// store the same PLI — which wastes a little work but never produces a wrong
+// result, because PLIs are immutable once built.
 type Provider struct {
 	rel    *relation.Relation
 	single []*PLI
 	empty  *PLI
 	cache  Cache
 
-	// Intersections counts column intersections performed; exposed for the
-	// evaluation harness and tests.
-	Intersections int64
+	// intersections counts column intersections performed; read it via
+	// IntersectionCount. Updated with sync/atomic so a Provider shared
+	// across workers stays race-free.
+	intersections atomic.Int64
 }
 
 // DefaultCacheEntries bounds the number of cached multi-column PLIs. The
@@ -41,6 +56,10 @@ func NewProvider(rel *relation.Relation, maxEntries int) *Provider {
 
 // NewProviderWithCache builds a Provider that stores multi-column PLIs in the
 // given cache. cache == nil selects a default-sized MapCache.
+//
+// The single-column PLIs are built concurrently, one indexed slot per column
+// across GOMAXPROCS workers; the result is identical to the sequential build
+// because each column's PLI depends only on that column's data.
 func NewProviderWithCache(rel *relation.Relation, cache Cache) *Provider {
 	if cache == nil {
 		cache = NewMapCache(0)
@@ -51,10 +70,18 @@ func NewProviderWithCache(rel *relation.Relation, cache Cache) *Provider {
 		empty:  FromAllRows(rel.NumRows()),
 		cache:  cache,
 	}
-	for c := 0; c < rel.NumColumns(); c++ {
+	parallel.For(context.Background(), parallel.Workers(0), rel.NumColumns(), func(c int) {
 		p.single[c] = FromColumn(rel.Column(c), rel.Cardinality(c))
-	}
+	})
 	return p
+}
+
+// NewConcurrentProvider builds a Provider backed by a ShardedCache, safe for
+// use from up to `workers` concurrent goroutines (workers <= 0 selects
+// GOMAXPROCS). maxEntries bounds the total cached multi-column PLIs
+// (<= 0 selects DefaultCacheEntries).
+func NewConcurrentProvider(rel *relation.Relation, maxEntries, workers int) *Provider {
+	return NewProviderWithCache(rel, NewShardedCache(parallel.Workers(workers), maxEntries))
 }
 
 // Relation returns the underlying relation.
@@ -80,7 +107,7 @@ func (p *Provider) Get(s bitset.Set) *PLI {
 		sub := s.Without(c)
 		if base, ok := p.lookup(sub); ok {
 			pli := base.IntersectColumn(p.rel.Column(c))
-			p.Intersections++
+			p.intersections.Add(1)
 			p.cache.Put(s, pli)
 			return pli
 		}
@@ -96,11 +123,15 @@ func (p *Provider) Get(s bitset.Set) *PLI {
 			continue
 		}
 		pli = pli.IntersectColumn(p.rel.Column(c))
-		p.Intersections++
+		p.intersections.Add(1)
 		p.cache.Put(prefix, pli)
 	}
 	return pli
 }
+
+// IntersectionCount returns the number of column intersections performed so
+// far. It is safe to call concurrently with Get.
+func (p *Provider) IntersectionCount() int64 { return p.intersections.Load() }
 
 func (p *Provider) lookup(s bitset.Set) (*PLI, bool) {
 	switch s.Len() {
@@ -125,7 +156,7 @@ func (p *Provider) CacheStats() CacheStats {
 		Misses:        misses,
 		Evictions:     evictions,
 		Entries:       p.cache.Len(),
-		Intersections: p.Intersections,
+		Intersections: p.intersections.Load(),
 	}
 }
 

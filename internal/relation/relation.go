@@ -9,11 +9,14 @@
 package relation
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 	"sort"
+	"sync"
 
 	"holistic/internal/bitset"
+	"holistic/internal/parallel"
 )
 
 // NullValue is the string that represents SQL NULL in the input. Empty CSV
@@ -38,7 +41,8 @@ type Relation struct {
 
 	dupRemoved int // number of duplicate rows dropped during construction
 
-	sortedVals [][]string // lazily built sorted distinct values per column
+	sortOnce   sync.Once  // guards the one-shot parallel sortedVals build
+	sortedVals [][]string // sorted distinct values per column (see sortOnce)
 }
 
 // Options configures relation construction.
@@ -49,6 +53,11 @@ type Options struct {
 	// distinct. The default (NULL = NULL) matches the convention of TANE,
 	// FUN and DUCC that the paper's evaluation uses.
 	DistinctNulls bool
+	// Workers bounds the goroutines used for per-column dictionary encoding
+	// and sorted-value-list construction (<= 0 selects GOMAXPROCS). The
+	// encoded relation is identical for every worker count: each column is
+	// one indexed task, and duplicate-row removal stays sequential.
+	Workers int
 }
 
 // New builds a Relation from row-major string data. columnNames supplies the
@@ -59,6 +68,12 @@ func New(name string, columnNames []string, rows [][]string) (*Relation, error) 
 }
 
 // NewWithOptions builds a Relation with explicit NULL semantics.
+//
+// Construction is parallel across columns: dictionary encoding of each column
+// is an independent indexed task (codes are assigned in row order per column,
+// so the dictionaries are identical to a sequential build), duplicate-row
+// detection runs sequentially on the encoded rows, and the surviving rows are
+// compacted per column in parallel again. Options.Workers bounds the pool.
 func NewWithOptions(name string, columnNames []string, rows [][]string, opts Options) (*Relation, error) {
 	n := len(columnNames)
 	if n == 0 {
@@ -78,19 +93,23 @@ func NewWithOptions(name string, columnNames []string, rows [][]string, opts Opt
 	for c := range r.nullID {
 		r.nullID[c] = -1
 	}
-	codes := make([]map[string]int32, n)
-	for c := range codes {
-		codes[c] = make(map[string]int32)
-	}
-
-	seen := make(map[string]struct{}, len(rows))
-	rowKey := make([]byte, 4*n)
-	encoded := make([]int32, n)
 	for i, row := range rows {
 		if len(row) != n {
 			return nil, fmt.Errorf("relation %q: row %d has %d fields, want %d", name, i, len(row), n)
 		}
-		for c, v := range row {
+	}
+
+	// Dictionary-encode every column concurrently. Duplicate rows are still
+	// present here; they assign no extra codes (their values were seen
+	// before), except under DistinctNulls where every NULL is fresh by
+	// design — exactly as in a sequential row-major pass.
+	workers := parallel.Workers(opts.Workers)
+	encoded := make([][]int32, n)
+	parallel.For(context.Background(), workers, n, func(c int) {
+		codes := make(map[string]int32)
+		col := make([]int32, len(rows))
+		for i, row := range rows {
+			v := row[c]
 			if opts.DistinctNulls && v == NullValue {
 				// SQL semantics: every NULL is its own value. The fresh
 				// code never enters the lookup map, so no later NULL can
@@ -100,21 +119,32 @@ func NewWithOptions(name string, columnNames []string, rows [][]string, opts Opt
 				if r.nullID[c] < 0 {
 					r.nullID[c] = code
 				}
-				encoded[c] = code
-				binary.LittleEndian.PutUint32(rowKey[4*c:], uint32(code))
+				col[i] = code
 				continue
 			}
-			code, ok := codes[c][v]
+			code, ok := codes[v]
 			if !ok {
 				code = int32(len(r.dicts[c]))
-				codes[c][v] = code
+				codes[v] = code
 				r.dicts[c] = append(r.dicts[c], v)
 				if v == NullValue {
 					r.nullID[c] = code
 				}
 			}
-			encoded[c] = code
-			binary.LittleEndian.PutUint32(rowKey[4*c:], uint32(code))
+			col[i] = code
+		}
+		encoded[c] = col
+	})
+
+	// Sequential duplicate-row removal on the encoded rows (first occurrence
+	// kept; order-dependent, so not parallelized).
+	seen := make(map[string]struct{}, len(rows))
+	keep := make([]bool, len(rows))
+	kept := 0
+	rowKey := make([]byte, 4*n)
+	for i := range rows {
+		for c := 0; c < n; c++ {
+			binary.LittleEndian.PutUint32(rowKey[4*c:], uint32(encoded[c][i]))
 		}
 		key := string(rowKey)
 		if _, dup := seen[key]; dup {
@@ -122,10 +152,24 @@ func NewWithOptions(name string, columnNames []string, rows [][]string, opts Opt
 			continue
 		}
 		seen[key] = struct{}{}
-		for c := range encoded {
-			r.cols[c] = append(r.cols[c], encoded[c])
-		}
+		keep[i] = true
+		kept++
 	}
+
+	if r.dupRemoved == 0 {
+		r.cols = encoded
+		return r, nil
+	}
+	// Compact the surviving rows per column, in parallel again.
+	parallel.For(context.Background(), workers, n, func(c int) {
+		col := make([]int32, 0, kept)
+		for i, k := range keep {
+			if k {
+				col = append(col, encoded[c][i])
+			}
+		}
+		r.cols[c] = col
+	})
 	return r, nil
 }
 
@@ -195,17 +239,28 @@ func (r *Relation) DistinctValues(c int) []string { return r.dicts[c] }
 
 // SortedDistinctValues returns the distinct values of column c in ascending
 // string order. This is SPIDER's duplicate-free sorted value list (paper
-// Sec. 2.1); it is computed once per column and cached.
+// Sec. 2.1). The first call builds the lists of every column — each column
+// sorted by its own worker (SPIDER's "sorting phase", Options.Workers wide)
+// — and caches them; the build is guarded by a sync.Once, so concurrent
+// callers are safe and later calls are lookups.
 func (r *Relation) SortedDistinctValues(c int) []string {
-	if r.sortedVals == nil {
-		r.sortedVals = make([][]string, len(r.cols))
-	}
-	if r.sortedVals[c] == nil {
-		vals := append([]string(nil), r.dicts[c]...)
-		sort.Strings(vals)
-		r.sortedVals[c] = vals
-	}
+	r.EnsureSortedValues()
 	return r.sortedVals[c]
+}
+
+// EnsureSortedValues builds the sorted duplicate-free value lists of all
+// columns in parallel (idempotent; safe for concurrent use). SPIDER calls it
+// up front so its sorting phase is parallel instead of lazily per column.
+func (r *Relation) EnsureSortedValues() {
+	r.sortOnce.Do(func() {
+		sorted := make([][]string, len(r.cols))
+		parallel.For(context.Background(), parallel.Workers(r.opts.Workers), len(r.cols), func(c int) {
+			vals := append([]string(nil), r.dicts[c]...)
+			sort.Strings(vals)
+			sorted[c] = vals
+		})
+		r.sortedVals = sorted
+	})
 }
 
 // Row materialises row i as strings (a fresh slice).

@@ -22,4 +22,7 @@ go build ./...
 echo "== go test -race =="
 go test -race ./...
 
+echo "== worker-count equivalence (workers=1 vs N) =="
+go test -race -count=1 -run 'TestWorkerCountEquivalence|TestParallelMudsCancellation' ./internal/core/
+
 echo "verify.sh: all checks passed"

@@ -4,12 +4,17 @@
 //
 // Usage:
 //
-//	profile [-algorithm name] [-timeout d] [-sep ,] [-no-header]
-//	        [-max-rows N] [-stats] [-timings] [-seed N] [-workers N]
-//	        [-nary K] [-approx eps] file.csv
+//	profile [-algorithm name] [-format text|json] [-timeout d] [-sep ,]
+//	        [-no-header] [-max-rows N] [-stats] [-timings] [-seed N]
+//	        [-workers N] [-nary K] [-approx eps] file.csv
 //
 // The strategy names accepted by -algorithm come from the engine registry;
-// run with -h for the current list.
+// run with -h for the current list. -format json emits the same core.Report
+// model the profiled server serves, so CLI and API output are identical for
+// the same run.
+//
+// Exit status: 0 on success, 1 on any profiling or output error, 2 on usage
+// errors.
 package main
 
 import (
@@ -18,8 +23,10 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
+	"time"
 
 	"holistic/internal/core"
 	"holistic/internal/fd"
@@ -29,9 +36,30 @@ import (
 	"holistic/internal/stats"
 )
 
+// usageError distinguishes misuse (exit 2) from runtime failures (exit 1).
+type usageError struct{ msg string }
+
+func (e usageError) Error() string { return e.msg }
+
 func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "profile:", err)
+		var ue usageError
+		if errors.As(err, &ue) {
+			flag.Usage()
+			os.Exit(2)
+		}
+		os.Exit(1)
+	}
+}
+
+// run executes the whole command; every failure surfaces as a returned error
+// so main can map it to a non-zero exit status — profiling errors must never
+// exit 0.
+func run(args []string, out io.Writer) error {
 	var (
 		algorithm = flag.String("algorithm", core.StrategyMuds, "profiling strategy: "+strings.Join(core.Strategies(), "|"))
+		format    = flag.String("format", "text", "output format: text|json (json emits the server's result model)")
 		timeout   = flag.Duration("timeout", 0, "abort profiling after this duration (0 = no limit)")
 		sep       = flag.String("sep", ",", "CSV field separator (single character)")
 		noHeader  = flag.Bool("no-header", false, "input has no header row")
@@ -42,28 +70,38 @@ func main() {
 		workers   = flag.Int("workers", 0, "worker pool size for the parallel phases (0 = all CPUs, 1 = sequential; results are identical for every value)")
 		naryArity = flag.Int("nary", 0, "also discover n-ary INDs up to this arity (0 = off)")
 		approxEps = flag.Float64("approx", 0, "also discover approximate FDs with g3 error ≤ eps (0 = off)")
-		asJSON    = flag.Bool("json", false, "emit the result as JSON instead of text")
+		asJSON    = flag.Bool("json", false, "deprecated alias for -format json")
 		sqlNulls  = flag.Bool("distinct-nulls", false, "SQL NULL semantics: empty fields compare unequal to each other")
 	)
-	flag.Parse()
+	flag.CommandLine.Parse(args)
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: profile [flags] file.csv")
-		flag.Usage()
-		os.Exit(2)
+		return usageError{msg: "exactly one input file is required"}
 	}
 	if len(*sep) != 1 {
-		fmt.Fprintln(os.Stderr, "profile: -sep must be a single character")
-		os.Exit(2)
+		return usageError{msg: "-sep must be a single character"}
+	}
+	if *asJSON {
+		*format = "json"
+	}
+	if *format != "text" && *format != "json" {
+		return usageError{msg: fmt.Sprintf("unknown -format %q (want text or json)", *format)}
+	}
+	if *naryArity < 0 {
+		return usageError{msg: "-nary must be >= 0"}
+	}
+	if *approxEps < 0 || *approxEps >= 1 {
+		return usageError{msg: "-approx must be in [0, 1)"}
 	}
 	// Reject unknown strategies before any input is read: a typo in
 	// -algorithm should not cost a multi-gigabyte CSV parse.
 	if _, ok := core.Lookup(*algorithm); !ok {
-		fmt.Fprintf(os.Stderr, "profile: unknown -algorithm %q (want one of %s)\n",
-			*algorithm, strings.Join(core.Strategies(), "|"))
-		os.Exit(2)
+		return usageError{msg: fmt.Sprintf("unknown -algorithm %q (want one of %s)",
+			*algorithm, strings.Join(core.Strategies(), "|"))}
 	}
 
-	src := core.CSVSource{
+	// MemoSource keeps the parsed relation around for reporting, so the
+	// input is read exactly once.
+	src := &core.MemoSource{Src: core.CSVSource{
 		Path: flag.Arg(0),
 		Options: relation.CSVOptions{
 			Comma:     rune((*sep)[0]),
@@ -71,7 +109,7 @@ func main() {
 			MaxRows:   *maxRows,
 			Relation:  relation.Options{DistinctNulls: *sqlNulls, Workers: *workers},
 		},
-	}
+	}}
 	ctx := context.Background()
 	if *timeout > 0 {
 		var cancel context.CancelFunc
@@ -81,92 +119,108 @@ func main() {
 	res, err := core.RunContext(ctx, *algorithm, src, core.Options{Seed: *seed, Workers: *workers}, nil)
 	if err != nil {
 		if errors.Is(err, context.DeadlineExceeded) {
-			fmt.Fprintf(os.Stderr, "profile: timed out after %v (partial results discarded)\n", *timeout)
-		} else {
-			fmt.Fprintln(os.Stderr, "profile:", err)
+			return fmt.Errorf("timed out after %v (partial results discarded)", *timeout)
 		}
-		os.Exit(1)
+		return err
 	}
+	rel := src.Relation()
 
-	rel, err := src.Load()
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "profile:", err)
-		os.Exit(1)
-	}
-	if *asJSON {
-		enc := json.NewEncoder(os.Stdout)
+	if *format == "json" {
+		enc := json.NewEncoder(out)
 		enc.SetIndent("", "  ")
-		if err := enc.Encode(core.NewReport(rel, res, *withStats)); err != nil {
-			fmt.Fprintln(os.Stderr, "profile:", err)
-			os.Exit(1)
-		}
-		return
+		return enc.Encode(core.NewReport(rel, res, *withStats))
 	}
+	return printText(out, rel, res, textOptions{
+		algorithm: *algorithm,
+		nary:      *naryArity,
+		approxEps: *approxEps,
+		withStats: *withStats,
+		timings:   *timings,
+	})
+}
 
+type textOptions struct {
+	algorithm string
+	nary      int
+	approxEps float64
+	withStats bool
+	timings   bool
+}
+
+// printText renders the human-readable report. Write errors (a closed pipe,
+// a full disk) surface as a non-zero exit.
+func printText(out io.Writer, rel *relation.Relation, res *core.Result, o textOptions) error {
 	names := rel.ColumnNames()
 	colName := func(c int) string { return names[c] }
+	var werr error
+	printf := func(format string, args ...any) {
+		if werr == nil {
+			_, werr = fmt.Fprintf(out, format, args...)
+		}
+	}
 
-	fmt.Printf("# %s — %d columns × %d rows (%d duplicate rows removed)\n",
+	printf("# %s — %d columns × %d rows (%d duplicate rows removed)\n",
 		rel.Name(), rel.NumColumns(), rel.NumRows(), rel.DuplicatesRemoved())
-	fmt.Printf("# algorithm=%s total=%v\n\n", *algorithm, res.Total().Round(1000))
+	printf("# algorithm=%s total=%v\n\n", o.algorithm, res.Total().Round(time.Microsecond))
 
-	if len(res.INDs) > 0 || *algorithm != core.StrategyTane {
-		fmt.Printf("Unary inclusion dependencies (%d):\n", len(res.INDs))
+	if len(res.INDs) > 0 || o.algorithm != core.StrategyTane {
+		printf("Unary inclusion dependencies (%d):\n", len(res.INDs))
 		for _, d := range res.INDs {
-			fmt.Printf("  %s ⊆ %s\n", colName(d.Dependent), colName(d.Referenced))
+			printf("  %s ⊆ %s\n", colName(d.Dependent), colName(d.Referenced))
 		}
-		fmt.Println()
+		printf("\n")
 	}
-	if len(res.UCCs) > 0 || *algorithm == core.StrategyMuds || *algorithm == core.StrategyHolisticFun || *algorithm == core.StrategyBaseline {
-		fmt.Printf("Minimal unique column combinations (%d):\n", len(res.UCCs))
+	if len(res.UCCs) > 0 || o.algorithm == core.StrategyMuds || o.algorithm == core.StrategyHolisticFun || o.algorithm == core.StrategyBaseline {
+		printf("Minimal unique column combinations (%d):\n", len(res.UCCs))
 		for _, u := range res.UCCs {
-			fmt.Printf("  {%s}\n", joinCols(u.Columns(), names))
+			printf("  {%s}\n", joinCols(u.Columns(), names))
 		}
-		fmt.Println()
+		printf("\n")
 	}
-	fmt.Printf("Minimal functional dependencies (%d):\n", len(res.FDs))
+	printf("Minimal functional dependencies (%d):\n", len(res.FDs))
 	for _, f := range res.FDs {
-		fmt.Printf("  [%s] → %s\n", joinCols(f.LHS.Columns(), names), colName(f.RHS))
+		printf("  [%s] → %s\n", joinCols(f.LHS.Columns(), names), colName(f.RHS))
 	}
 
-	if *naryArity > 1 {
-		nary := ind.Nary(rel, ind.Options{IgnoreNulls: true}, *naryArity)
-		fmt.Printf("\nN-ary inclusion dependencies up to arity %d (%d):\n", *naryArity, len(nary))
+	if o.nary > 1 {
+		nary := ind.Nary(rel, ind.Options{IgnoreNulls: true}, o.nary)
+		printf("\nN-ary inclusion dependencies up to arity %d (%d):\n", o.nary, len(nary))
 		for _, d := range nary {
 			if len(d.Dependent) < 2 {
 				continue // unary ones are listed above
 			}
-			fmt.Printf("  [%s] ⊆ [%s]\n", joinCols(d.Dependent, names), joinCols(d.Referenced, names))
+			printf("  [%s] ⊆ [%s]\n", joinCols(d.Dependent, names), joinCols(d.Referenced, names))
 		}
 	}
 
-	if *approxEps > 0 {
-		approx := fd.ApproximateFDs(pli.NewProvider(rel, 0), *approxEps, 3)
-		fmt.Printf("\nApproximate FDs with g3 ≤ %.3f (lhs ≤ 3 columns):\n", *approxEps)
+	if o.approxEps > 0 {
+		approx := fd.ApproximateFDs(pli.NewProvider(rel, 0), o.approxEps, 3)
+		printf("\nApproximate FDs with g3 ≤ %.3f (lhs ≤ 3 columns):\n", o.approxEps)
 		for _, f := range approx {
 			if f.Error == 0 {
 				continue // exact FDs are listed above
 			}
-			fmt.Printf("  [%s] → %s  (g3=%.3f)\n", joinCols(f.LHS.Columns(), names), colName(f.RHS), f.Error)
+			printf("  [%s] → %s  (g3=%.3f)\n", joinCols(f.LHS.Columns(), names), colName(f.RHS), f.Error)
 		}
 	}
 
-	if *withStats {
-		fmt.Println("\nColumn statistics:")
-		fmt.Printf("  %-20s %-8s %8s %8s %8s %10s\n", "column", "type", "distinct", "nulls", "unique%", "top-freq")
+	if o.withStats {
+		printf("\nColumn statistics:\n")
+		printf("  %-20s %-8s %8s %8s %8s %10s\n", "column", "type", "distinct", "nulls", "unique%", "top-freq")
 		for _, c := range stats.Profile(rel) {
-			fmt.Printf("  %-20s %-8s %8d %8d %7.1f%% %10d\n",
+			printf("  %-20s %-8s %8d %8d %7.1f%% %10d\n",
 				c.Name, c.Type, c.Distinct, c.Nulls, 100*c.Uniqueness, c.Frequency)
 		}
 	}
 
-	if *timings {
-		fmt.Println("\nPhase timings:")
+	if o.timings {
+		printf("\nPhase timings:\n")
 		for _, p := range res.Phases {
-			fmt.Printf("  %-24s %v\n", p.Name, p.Duration.Round(1000))
+			printf("  %-24s %v\n", p.Name, p.Duration.Round(time.Microsecond))
 		}
-		fmt.Printf("  %-24s %d\n", "validity checks", res.Checks)
+		printf("  %-24s %d\n", "validity checks", res.Checks)
 	}
+	return werr
 }
 
 func joinCols(cols []int, names []string) string {

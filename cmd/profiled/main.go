@@ -1,0 +1,123 @@
+// Command profiled is the holistic profiling service: a long-running HTTP
+// daemon that accepts profiling jobs, executes them on a bounded worker pool
+// driving the engine's strategy registry, caches results by dataset content,
+// and streams per-job progress events.
+//
+// Usage:
+//
+//	profiled [-addr host:port] [-workers N] [-queue N] [-job-timeout d]
+//	         [-max-job-timeout d] [-shutdown-timeout d] [-data dir]
+//	         [-cache N] [-max-body bytes] [-quiet]
+//
+// API:
+//
+//	POST   /v1/jobs             submit a job (inline CSV or data-dir path)
+//	GET    /v1/jobs             list retained jobs
+//	GET    /v1/jobs/{id}        job status and result
+//	GET    /v1/jobs/{id}/events live progress stream (JSON lines)
+//	DELETE /v1/jobs/{id}        cancel a queued or running job
+//	GET    /healthz             liveness (503 while draining)
+//	GET    /metrics             Prometheus text metrics
+//
+// SIGINT/SIGTERM starts a graceful shutdown: admission flips to 503, queued
+// jobs are canceled, and in-flight jobs get -shutdown-timeout to finish
+// before their contexts are cut.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"holistic/internal/server"
+)
+
+func main() {
+	var (
+		addr            = flag.String("addr", "127.0.0.1:8646", "listen address (host:port; port 0 picks a free port)")
+		workers         = flag.Int("workers", 2, "number of jobs executed concurrently")
+		queueDepth      = flag.Int("queue", 16, "admission queue depth; submissions beyond it get 429")
+		jobTimeout      = flag.Duration("job-timeout", 5*time.Minute, "default per-job deadline (0 = none)")
+		maxJobTimeout   = flag.Duration("max-job-timeout", 0, "cap on requested per-job deadlines (0 = no cap)")
+		shutdownTimeout = flag.Duration("shutdown-timeout", 30*time.Second, "drain deadline on SIGINT/SIGTERM before in-flight jobs are canceled")
+		dataDir         = flag.String("data", "", "directory for path-based dataset submissions (empty = inline CSV only)")
+		cacheEntries    = flag.Int("cache", 256, "content-addressed result cache size (reports)")
+		maxBody         = flag.Int64("max-body", 32<<20, "maximum request body size in bytes")
+		quiet           = flag.Bool("quiet", false, "suppress per-job log lines")
+	)
+	flag.Parse()
+	if flag.NArg() != 0 {
+		fmt.Fprintln(os.Stderr, "usage: profiled [flags]")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	logger := log.New(os.Stderr, "profiled: ", log.LstdFlags)
+	logf := logger.Printf
+	if *quiet {
+		logf = nil
+	}
+	if *jobTimeout == 0 {
+		*jobTimeout = -1 // Config: negative disables the default deadline
+	}
+
+	srv := server.New(server.Config{
+		Workers:        *workers,
+		QueueDepth:     *queueDepth,
+		DefaultTimeout: *jobTimeout,
+		MaxTimeout:     *maxJobTimeout,
+		DataDir:        *dataDir,
+		CacheEntries:   *cacheEntries,
+		MaxBodyBytes:   *maxBody,
+		Logf:           logf,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		logger.Printf("listen: %v", err)
+		os.Exit(1)
+	}
+	// The resolved address goes to stdout so scripts using -addr :0 can
+	// discover the port.
+	fmt.Printf("profiled: listening on %s\n", ln.Addr())
+
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case sig := <-sigs:
+		logger.Printf("received %v, draining (deadline %v)", sig, *shutdownTimeout)
+	case err := <-serveErr:
+		logger.Printf("serve: %v", err)
+		os.Exit(1)
+	}
+
+	// Drain the job queue first while HTTP stays up: new submissions get
+	// 503, but clients can still poll their jobs to completion. The HTTP
+	// listener closes afterwards.
+	drainCtx, cancel := context.WithTimeout(context.Background(), *shutdownTimeout)
+	defer cancel()
+	drainErr := srv.Shutdown(drainCtx)
+
+	httpCtx, cancelHTTP := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancelHTTP()
+	if err := httpSrv.Shutdown(httpCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		logger.Printf("http shutdown: %v", err)
+	}
+	if drainErr != nil {
+		logger.Printf("drain deadline hit, in-flight jobs canceled")
+		os.Exit(1)
+	}
+	logger.Printf("drained cleanly")
+}

@@ -70,6 +70,14 @@ type (
 	// NopObserver implements Observer with no-ops; embed it to override
 	// selected callbacks.
 	NopObserver = core.NopObserver
+	// Event is the serializable form of one Observer callback, suitable for
+	// streaming progress over JSON transports.
+	Event = core.Event
+	// EventObserver adapts the Observer surface into a stream of Events
+	// delivered to its Sink.
+	EventObserver = core.EventObserver
+	// MemoSource caches the first Load of an inner Source.
+	MemoSource = core.MemoSource
 	// CacheStats is a snapshot of the shared PLI cache counters.
 	CacheStats = pli.CacheStats
 )

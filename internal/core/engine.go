@@ -91,6 +91,7 @@ type recorder struct {
 	phases []Phase
 	index  map[string]int
 	checks int
+	cache  []pli.CacheStats
 }
 
 func newRecorder(user Observer) *recorder {
@@ -117,14 +118,18 @@ func (r *recorder) Checks(delta int) {
 	r.user.Checks(delta)
 }
 
-func (r *recorder) CacheStats(stats pli.CacheStats) { r.user.CacheStats(stats) }
+func (r *recorder) CacheStats(stats pli.CacheStats) {
+	r.cache = append(r.cache, stats)
+	r.user.CacheStats(stats)
+}
 
 func (r *recorder) Parallelism(phase string, workers int) { r.user.Parallelism(phase, workers) }
 
-// finish writes the accumulated phases and checks into res.
+// finish writes the accumulated phases, checks and cache snapshots into res.
 func (r *recorder) finish(res *Result) {
 	res.Phases = r.phases
 	res.Checks = r.checks
+	res.Cache = r.cache
 }
 
 // timePhase runs fn as the named phase, reporting its boundaries and wall
@@ -198,6 +203,7 @@ func profileWith(ctx context.Context, s Strategy, rel *relation.Relation, opts O
 		}
 		res = &Result{}
 	}
+	res.Algorithm = s.Name()
 	rec.finish(res)
 	return res, err
 }

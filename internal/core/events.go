@@ -1,0 +1,68 @@
+package core
+
+import (
+	"time"
+
+	"holistic/internal/pli"
+)
+
+// Event types emitted by EventObserver, one per Observer callback.
+const (
+	EventPhaseStart  = "phase_start"
+	EventPhaseEnd    = "phase_end"
+	EventChecks      = "checks"
+	EventCacheStats  = "cache_stats"
+	EventParallelism = "parallelism"
+)
+
+// Event is the serializable form of one Observer callback. Type selects
+// which of the remaining fields carry the payload, so a stream of Events
+// marshals to compact JSON lines suitable for live progress transports (the
+// profiling server streams them per job).
+type Event struct {
+	// Type is one of the Event* constants.
+	Type string `json:"type"`
+	// Phase names the phase of a phase_start/phase_end/parallelism event.
+	Phase string `json:"phase,omitempty"`
+	// Seconds is the phase wall time of a phase_end event.
+	Seconds float64 `json:"seconds,omitempty"`
+	// Checks is the validity-check delta of a checks event.
+	Checks int `json:"checks,omitempty"`
+	// Workers is the pool width of a parallelism event.
+	Workers int `json:"workers,omitempty"`
+	// Cache is the provider snapshot of a cache_stats event.
+	Cache *pli.CacheStats `json:"cache,omitempty"`
+}
+
+// EventObserver adapts the Observer callback surface into a stream of
+// serializable Events: every callback is converted to one Event and handed
+// to Sink on the profiling goroutine. Sink must be non-nil and cheap; if it
+// needs to fan out to slow consumers it should buffer, not block.
+type EventObserver struct {
+	Sink func(Event)
+}
+
+// PhaseStart implements Observer.
+func (o EventObserver) PhaseStart(name string) {
+	o.Sink(Event{Type: EventPhaseStart, Phase: name})
+}
+
+// PhaseEnd implements Observer.
+func (o EventObserver) PhaseEnd(name string, d time.Duration) {
+	o.Sink(Event{Type: EventPhaseEnd, Phase: name, Seconds: d.Seconds()})
+}
+
+// Checks implements Observer.
+func (o EventObserver) Checks(delta int) {
+	o.Sink(Event{Type: EventChecks, Checks: delta})
+}
+
+// CacheStats implements Observer.
+func (o EventObserver) CacheStats(stats pli.CacheStats) {
+	o.Sink(Event{Type: EventCacheStats, Cache: &stats})
+}
+
+// Parallelism implements Observer.
+func (o EventObserver) Parallelism(phase string, workers int) {
+	o.Sink(Event{Type: EventParallelism, Phase: phase, Workers: workers})
+}

@@ -63,6 +63,7 @@ func MudsContext(ctx context.Context, rel *relation.Relation, opts Options, obs 
 	}
 	rec := newRecorder(obs)
 	res, err := mudsProfile(ctx, rel, opts, rec)
+	res.Algorithm = StrategyMuds
 	rec.finish(res)
 	return res, err
 }

@@ -1,25 +1,30 @@
 package core
 
 import (
+	"holistic/internal/pli"
 	"holistic/internal/relation"
 	"holistic/internal/stats"
 )
 
 // Report is the serialisation-friendly form of a profiling result: column
 // references are resolved to names, sets to name lists, durations to
-// seconds. It marshals cleanly with encoding/json.
+// seconds. It marshals cleanly with encoding/json and is the single result
+// model shared by the CLI (-format json) and the profiling server's job
+// API, so both emit identical JSON for the same run.
 type Report struct {
-	Dataset           string         `json:"dataset"`
-	Columns           []string       `json:"columns"`
-	Rows              int            `json:"rows"`
-	DuplicatesRemoved int            `json:"duplicates_removed"`
-	INDs              []INDReport    `json:"inds"`
-	UCCs              [][]string     `json:"uccs"`
-	FDs               []FDReport     `json:"fds"`
-	Phases            []PhaseReport  `json:"phases"`
-	TotalSeconds      float64        `json:"total_seconds"`
-	Checks            int            `json:"checks"`
-	Stats             []stats.Column `json:"stats,omitempty"`
+	Dataset           string           `json:"dataset"`
+	Algorithm         string           `json:"algorithm,omitempty"`
+	Columns           []string         `json:"columns"`
+	Rows              int              `json:"rows"`
+	DuplicatesRemoved int              `json:"duplicates_removed"`
+	INDs              []INDReport      `json:"inds"`
+	UCCs              [][]string       `json:"uccs"`
+	FDs               []FDReport       `json:"fds"`
+	Phases            []PhaseReport    `json:"phases"`
+	TotalSeconds      float64          `json:"total_seconds"`
+	Checks            int              `json:"checks"`
+	Cache             []pli.CacheStats `json:"cache,omitempty"`
+	Stats             []stats.Column   `json:"stats,omitempty"`
 }
 
 // INDReport is one unary inclusion dependency with resolved names.
@@ -46,11 +51,13 @@ func NewReport(rel *relation.Relation, res *Result, withStats bool) *Report {
 	names := rel.ColumnNames()
 	r := &Report{
 		Dataset:           rel.Name(),
+		Algorithm:         res.Algorithm,
 		Columns:           append([]string(nil), names...),
 		Rows:              rel.NumRows(),
 		DuplicatesRemoved: rel.DuplicatesRemoved(),
 		TotalSeconds:      res.Total().Seconds(),
 		Checks:            res.Checks,
+		Cache:             append([]pli.CacheStats(nil), res.Cache...),
 		INDs:              []INDReport{},
 		UCCs:              [][]string{},
 		FDs:               []FDReport{},

@@ -11,6 +11,7 @@ import (
 	"holistic/internal/bitset"
 	"holistic/internal/fd"
 	"holistic/internal/ind"
+	"holistic/internal/pli"
 )
 
 // Phase is one timed stage of a profiling run. The phase names of a MUDS run
@@ -35,6 +36,13 @@ type Result struct {
 	// Checks counts data-touching validity checks (uniqueness tests,
 	// partition refinements) across all phases.
 	Checks int
+	// Algorithm is the registry name of the strategy that produced the
+	// result ("muds", "tane", ...). The engine fills it from the registry.
+	Algorithm string
+	// Cache holds one PLI-cache snapshot per provider the run retired, in
+	// reporting order (the sequential baseline reports several). The engine
+	// assembles it from the Observer's CacheStats events.
+	Cache []pli.CacheStats
 }
 
 // Total returns the summed duration of all phases.

@@ -30,6 +30,36 @@ func (s RelationSource) Load() (*relation.Relation, error) {
 	return relation.New(s.Rel.Name(), s.Rel.ColumnNames(), s.Rel.Rows())
 }
 
+// MemoSource caches the first Load of an inner Source so that callers who
+// need the relation again after a run (result reporting, statistics) do not
+// pay a second parse/encode pass. It deliberately breaks the "fresh relation
+// per Load" contract the sequential baseline relies on — the engine hands
+// strategies the already-loaded relation and the baseline re-encodes via
+// RelationSource internally, so memoisation is safe at the engine boundary.
+// Not safe for concurrent use.
+type MemoSource struct {
+	Src    Source
+	rel    *relation.Relation
+	err    error
+	loaded bool
+}
+
+// Name implements Source.
+func (m *MemoSource) Name() string { return m.Src.Name() }
+
+// Load implements Source, delegating once and replaying the outcome.
+func (m *MemoSource) Load() (*relation.Relation, error) {
+	if !m.loaded {
+		m.rel, m.err = m.Src.Load()
+		m.loaded = true
+	}
+	return m.rel, m.err
+}
+
+// Relation returns the memoised relation (nil before the first successful
+// Load).
+func (m *MemoSource) Relation() *relation.Relation { return m.rel }
+
 // CSVSource loads a relation from a CSV file on every call.
 type CSVSource struct {
 	Path    string

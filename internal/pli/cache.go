@@ -30,18 +30,20 @@ type Cache interface {
 // CacheStats is a point-in-time snapshot of a Provider's cache behaviour,
 // combining the cache's own probe counters with the Provider's intersection
 // count. It is the payload of the engine's Observer cache hook and of the
-// benchmark harness' cache metrics.
+// benchmark harness' cache metrics. It marshals cleanly with encoding/json,
+// so per-job cache statistics can ride along in serialized profiling
+// results and progress-event streams.
 type CacheStats struct {
 	// Hits and Misses count cache probes (see Cache.Counters).
-	Hits   int64
-	Misses int64
+	Hits   int64 `json:"hits"`
+	Misses int64 `json:"misses"`
 	// Evictions counts entries dropped by the eviction policy.
-	Evictions int64
+	Evictions int64 `json:"evictions"`
 	// Entries is the current number of cached multi-column PLIs.
-	Entries int
+	Entries int `json:"entries"`
 	// Intersections counts the column intersections the Provider performed —
 	// the work the cache exists to avoid.
-	Intersections int64
+	Intersections int64 `json:"intersections"`
 }
 
 // MapCache is the default Cache: a bounded map with a cheap random-replacement

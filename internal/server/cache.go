@@ -1,0 +1,80 @@
+package server
+
+import (
+	"container/list"
+	"sync"
+
+	"holistic/internal/core"
+)
+
+// resultCache is the content-addressed result store: completed profiling
+// reports keyed by (dataset SHA-256, algorithm, result-affecting options).
+// Repeated submissions of byte-identical datasets are served from it without
+// touching the lattice. It is a bounded LRU; eviction drops the least
+// recently served entry.
+type resultCache struct {
+	mu         sync.Mutex
+	entries    map[cacheKey]*list.Element
+	order      *list.List // front = most recently used
+	maxEntries int
+
+	hits, misses, evictions int64
+}
+
+type cacheEntry struct {
+	key    cacheKey
+	report *core.Report
+}
+
+// newResultCache builds a cache bounded to maxEntries reports (<= 0 selects
+// 256).
+func newResultCache(maxEntries int) *resultCache {
+	if maxEntries <= 0 {
+		maxEntries = 256
+	}
+	return &resultCache{
+		entries:    make(map[cacheKey]*list.Element),
+		order:      list.New(),
+		maxEntries: maxEntries,
+	}
+}
+
+// get returns the cached report of key, counting the probe.
+func (c *resultCache) get(key cacheKey) (*core.Report, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.order.MoveToFront(el)
+	return el.Value.(*cacheEntry).report, true
+}
+
+// put stores the report of key, evicting the LRU entry when full.
+func (c *resultCache) put(key cacheKey, report *core.Report) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		el.Value.(*cacheEntry).report = report
+		c.order.MoveToFront(el)
+		return
+	}
+	for c.order.Len() >= c.maxEntries {
+		last := c.order.Back()
+		c.order.Remove(last)
+		delete(c.entries, last.Value.(*cacheEntry).key)
+		c.evictions++
+	}
+	c.entries[key] = c.order.PushFront(&cacheEntry{key: key, report: report})
+}
+
+// counters returns the accumulated probe and eviction counts plus the
+// current size.
+func (c *resultCache) counters() (hits, misses, evictions int64, entries int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses, c.evictions, c.order.Len()
+}

@@ -1,0 +1,166 @@
+package server
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"holistic/internal/core"
+)
+
+// Job states. A job moves queued → running → {done, failed, canceled};
+// cache-served jobs jump straight from queued to done.
+const (
+	StateQueued   = "queued"
+	StateRunning  = "running"
+	StateDone     = "done"
+	StateFailed   = "failed"
+	StateCanceled = "canceled"
+)
+
+// terminal reports whether state is a final job state.
+func terminal(state string) bool {
+	return state == StateDone || state == StateFailed || state == StateCanceled
+}
+
+// job is the server-side record of one profiling request. The mutex guards
+// the mutable fields; the event log has its own lock so streaming readers
+// never contend with state transitions beyond the append itself.
+type job struct {
+	id  string
+	req jobRequest
+	key cacheKey
+	src *core.MemoSource
+
+	mu        sync.Mutex
+	state     string
+	err       string
+	result    *core.Report
+	cacheHit  bool
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+	// timeout is the per-job deadline resolved at admission (0 = none).
+	timeout time.Duration
+	// cancel aborts the job: before the worker picks the job up it only
+	// flips canceled (the worker skips it); while running it cancels the
+	// profiling context.
+	cancel   context.CancelFunc
+	canceled bool // cancellation requested (DELETE or shutdown)
+
+	events *eventLog
+}
+
+// view renders the job's externally visible state.
+func (j *job) view() JobView {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	v := JobView{
+		ID:          j.id,
+		State:       j.state,
+		Algorithm:   j.req.Algorithm,
+		Dataset:     j.req.Dataset,
+		DatasetSHA:  j.key.DatasetSHA256,
+		CacheHit:    j.cacheHit,
+		Error:       j.err,
+		SubmittedAt: j.submitted,
+		Result:      j.result,
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		v.StartedAt = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		v.FinishedAt = &t
+	}
+	return v
+}
+
+// JobView is the JSON shape of a job returned by the HTTP API.
+type JobView struct {
+	ID          string       `json:"id"`
+	State       string       `json:"state"`
+	Algorithm   string       `json:"algorithm"`
+	Dataset     string       `json:"dataset"`
+	DatasetSHA  string       `json:"dataset_sha256"`
+	CacheHit    bool         `json:"cache_hit,omitempty"`
+	Error       string       `json:"error,omitempty"`
+	SubmittedAt time.Time    `json:"submitted_at"`
+	StartedAt   *time.Time   `json:"started_at,omitempty"`
+	FinishedAt  *time.Time   `json:"finished_at,omitempty"`
+	Result      *core.Report `json:"result,omitempty"`
+}
+
+// JobEvent is one line of a job's progress stream: either a job lifecycle
+// transition (type "state") or an engine progress event (core.Event types),
+// stamped with a per-job sequence number and wall-clock time.
+type JobEvent struct {
+	Seq  int       `json:"seq"`
+	Time time.Time `json:"time"`
+	core.Event
+	// State carries the new job state of a "state" event; Error carries the
+	// failure reason when that state is failed or canceled.
+	State string `json:"state,omitempty"`
+	Error string `json:"error,omitempty"`
+}
+
+// EventState is the JobEvent type of a job lifecycle transition.
+const EventState = "state"
+
+// eventLog is an append-only, subscribable record of a job's events. Readers
+// follow a cursor into the slice and block on the condition variable until
+// new events arrive or the log closes, so every subscriber sees the full
+// history (replay) followed by the live tail, with no events dropped.
+type eventLog struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	events []JobEvent
+	closed bool
+}
+
+func newEventLog() *eventLog {
+	l := &eventLog{}
+	l.cond = sync.NewCond(&l.mu)
+	return l
+}
+
+// append stamps and stores e, waking all waiting subscribers.
+func (l *eventLog) append(e JobEvent) {
+	l.mu.Lock()
+	e.Seq = len(l.events)
+	e.Time = time.Now().UTC()
+	l.events = append(l.events, e)
+	l.mu.Unlock()
+	l.cond.Broadcast()
+}
+
+// close marks the log complete (the job reached a terminal state) and wakes
+// subscribers so they can drain and stop.
+func (l *eventLog) close() {
+	l.mu.Lock()
+	l.closed = true
+	l.mu.Unlock()
+	l.cond.Broadcast()
+}
+
+// next returns the events at index >= from, blocking until at least one is
+// available, the log closes, or ctx is done. The boolean reports whether the
+// stream is complete (log closed and fully consumed, or ctx done).
+func (l *eventLog) next(ctx context.Context, from int) ([]JobEvent, bool) {
+	// cond.Wait cannot watch ctx, so a helper wakes the waiters when the
+	// subscriber's request context ends.
+	stop := context.AfterFunc(ctx, l.cond.Broadcast)
+	defer stop()
+
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for len(l.events) <= from && !l.closed && ctx.Err() == nil {
+		l.cond.Wait()
+	}
+	if ctx.Err() != nil {
+		return nil, true
+	}
+	batch := append([]JobEvent(nil), l.events[from:]...)
+	return batch, l.closed && len(l.events) == from+len(batch)
+}

@@ -1,0 +1,56 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"sync/atomic"
+)
+
+// metrics holds the server's monotonic counters. Gauges (queue depth,
+// running jobs) are derived live in writeMetrics rather than stored.
+type metrics struct {
+	jobsSubmitted     atomic.Int64
+	jobsDone          atomic.Int64
+	jobsFailed        atomic.Int64
+	jobsCanceled      atomic.Int64
+	rejectedQueueFull atomic.Int64
+	rejectedDraining  atomic.Int64
+	jobsRunning       atomic.Int64
+}
+
+// writeMetrics renders the Prometheus text exposition of the server's
+// counters and gauges.
+func (s *Server) writeMetrics(w io.Writer) {
+	m := &s.metrics
+	hits, misses, evictions, entries := s.cache.counters()
+	writeMetric(w, "profiled_jobs_submitted_total", "counter",
+		"Jobs accepted by POST /v1/jobs (including cache-served ones).", m.jobsSubmitted.Load())
+	writeMetric(w, "profiled_jobs_done_total", "counter",
+		"Jobs that finished successfully.", m.jobsDone.Load())
+	writeMetric(w, "profiled_jobs_failed_total", "counter",
+		"Jobs that finished with an error (including per-job deadline hits).", m.jobsFailed.Load())
+	writeMetric(w, "profiled_jobs_canceled_total", "counter",
+		"Jobs canceled via DELETE or server shutdown.", m.jobsCanceled.Load())
+	writeMetric(w, "profiled_jobs_rejected_queue_full_total", "counter",
+		"Submissions rejected with 429 because the queue was full.", m.rejectedQueueFull.Load())
+	writeMetric(w, "profiled_jobs_rejected_draining_total", "counter",
+		"Submissions rejected with 503 during shutdown.", m.rejectedDraining.Load())
+	writeMetric(w, "profiled_result_cache_hits_total", "counter",
+		"Submissions served from the content-addressed result cache.", hits)
+	writeMetric(w, "profiled_result_cache_misses_total", "counter",
+		"Submissions that missed the result cache.", misses)
+	writeMetric(w, "profiled_result_cache_evictions_total", "counter",
+		"Reports evicted from the result cache.", evictions)
+	writeMetric(w, "profiled_result_cache_entries", "gauge",
+		"Reports currently held in the result cache.", int64(entries))
+	writeMetric(w, "profiled_jobs_running", "gauge",
+		"Jobs currently executing on the worker pool.", m.jobsRunning.Load())
+	writeMetric(w, "profiled_queue_depth", "gauge",
+		"Jobs waiting in the admission queue.", int64(len(s.queue)))
+	writeMetric(w, "profiled_jobs_retained", "gauge",
+		"Job records currently retained for status queries.", int64(s.jobCount()))
+}
+
+func writeMetric(w io.Writer, name, kind, help string, v int64) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %d\n", name, help, name, kind, name, v)
+}

@@ -1,0 +1,539 @@
+// Package server turns the holistic profiling library into a long-running
+// service: an HTTP/JSON job API layered over a bounded admission queue, a
+// worker pool that drives the engine's strategy registry, a
+// content-addressed result cache keyed by dataset bytes, and per-job
+// progress streams adapted from the engine's Observer events.
+//
+// The layering (queue → workers → registry → PLI cache → result cache)
+// exists because dependency discovery is exponential in the worst case:
+// admission control and per-job deadlines bound the damage of a hostile
+// dataset, while the result cache extends the paper's share-everything idea
+// across requests — byte-identical submissions never touch the lattice
+// twice.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"holistic/internal/core"
+)
+
+// Config tunes a Server. The zero value selects sensible defaults
+// everywhere: 2 workers, a queue of 16, a 5-minute job deadline, inline-only
+// submissions, 256 cached reports, 32 MiB request bodies.
+type Config struct {
+	// Workers is the number of jobs executed concurrently (<= 0 selects 2).
+	// Each job may additionally fan out internally via its workers option.
+	Workers int
+	// QueueDepth bounds the admission queue; submissions beyond it are
+	// rejected with 429 (<= 0 selects 16).
+	QueueDepth int
+	// DefaultTimeout is the per-job deadline applied when a request does not
+	// ask for one (0 selects 5 minutes; negative disables the default).
+	DefaultTimeout time.Duration
+	// MaxTimeout caps requested deadlines (0 = no cap).
+	MaxTimeout time.Duration
+	// DataDir enables path-based submissions, resolved inside this
+	// directory. Empty disables them: only inline CSV is accepted.
+	DataDir string
+	// CacheEntries bounds the content-addressed result cache (<= 0 selects
+	// 256 reports).
+	CacheEntries int
+	// MaxBodyBytes bounds request bodies (<= 0 selects 32 MiB).
+	MaxBodyBytes int64
+	// MaxRetainedJobs bounds the terminal job records kept for status
+	// queries; the oldest finished jobs are dropped first (<= 0 selects
+	// 1024).
+	MaxRetainedJobs int
+	// Logf, when non-nil, receives one line per job transition.
+	Logf func(format string, args ...any)
+}
+
+func (c *Config) applyDefaults() {
+	if c.Workers <= 0 {
+		c.Workers = 2
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 16
+	}
+	if c.DefaultTimeout == 0 {
+		c.DefaultTimeout = 5 * time.Minute
+	}
+	if c.DefaultTimeout < 0 {
+		c.DefaultTimeout = 0
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 32 << 20
+	}
+	if c.MaxRetainedJobs <= 0 {
+		c.MaxRetainedJobs = 1024
+	}
+}
+
+// Server is the profiling service. Create one with New, expose Handler on an
+// http.Server, and stop it with Shutdown.
+type Server struct {
+	cfg     Config
+	mux     *http.ServeMux
+	cache   *resultCache
+	metrics metrics
+
+	// baseCtx parents every job context; cancelRuns aborts all in-flight
+	// jobs (the forced half of shutdown).
+	baseCtx    context.Context
+	cancelRuns context.CancelFunc
+
+	queue chan *job
+	wg    sync.WaitGroup
+
+	mu       sync.Mutex
+	draining bool
+	jobs     map[string]*job
+	order    []string // submission order, for retention eviction
+	nextID   int64
+
+	shutdownOnce sync.Once
+}
+
+// New builds a Server with cfg and starts its worker pool.
+func New(cfg Config) *Server {
+	cfg.applyDefaults()
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:        cfg,
+		mux:        http.NewServeMux(),
+		cache:      newResultCache(cfg.CacheEntries),
+		baseCtx:    ctx,
+		cancelRuns: cancel,
+		queue:      make(chan *job, cfg.QueueDepth),
+		jobs:       make(map[string]*job),
+	}
+	s.routes()
+	for i := 0; i < cfg.Workers; i++ {
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			for j := range s.queue {
+				s.runJob(j)
+			}
+		}()
+	}
+	return s
+}
+
+func (s *Server) routes() {
+	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	s.mux.HandleFunc("GET /v1/jobs", s.handleList)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleGet)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+}
+
+// Handler returns the HTTP handler serving the job API.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}
+
+// Shutdown drains the server: admission switches to 503, still-queued jobs
+// are canceled immediately, and in-flight jobs run on. When ctx expires
+// before they finish, their contexts are canceled and Shutdown returns
+// ctx.Err() after they unwind; a clean drain returns nil. Safe to call more
+// than once.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.shutdownOnce.Do(func() {
+		s.mu.Lock()
+		s.draining = true
+		var queued []*job
+		for _, j := range s.jobs {
+			j.mu.Lock()
+			if j.state == StateQueued {
+				queued = append(queued, j)
+			}
+			j.mu.Unlock()
+		}
+		s.mu.Unlock()
+		for _, j := range queued {
+			s.cancelIfQueued(j, "server shutting down")
+		}
+		// No submission can be mid-send once draining is visible (the
+		// non-blocking send happens under s.mu), so closing is safe.
+		close(s.queue)
+	})
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.cancelRuns()
+		<-done
+		return ctx.Err()
+	}
+}
+
+// --- job lifecycle ---
+
+// runJob executes one queued job on a worker goroutine.
+func (s *Server) runJob(j *job) {
+	j.mu.Lock()
+	if j.state != StateQueued { // canceled while waiting
+		j.mu.Unlock()
+		return
+	}
+	ctx, cancel := context.WithCancel(s.baseCtx)
+	if j.timeout > 0 {
+		ctx, cancel = context.WithTimeout(s.baseCtx, j.timeout)
+	}
+	j.cancel = cancel
+	j.state = StateRunning
+	j.started = time.Now().UTC()
+	j.mu.Unlock()
+	defer cancel()
+
+	s.metrics.jobsRunning.Add(1)
+	defer s.metrics.jobsRunning.Add(-1)
+	j.events.append(JobEvent{Event: core.Event{Type: EventState}, State: StateRunning})
+	s.logf("job %s running: algorithm=%s dataset=%s", j.id, j.req.Algorithm, j.req.Dataset)
+
+	obs := core.EventObserver{Sink: func(e core.Event) {
+		j.events.append(JobEvent{Event: e})
+	}}
+	res, err := core.RunContext(ctx, j.req.Algorithm, j.src, j.req.options(), obs)
+
+	switch {
+	case err == nil:
+		report := core.NewReport(j.src.Relation(), res, j.req.WithStats)
+		s.cache.put(j.key, report)
+		s.finish(j, StateDone, "", report)
+	case errors.Is(err, context.Canceled):
+		s.finish(j, StateCanceled, "canceled", nil)
+	case errors.Is(err, context.DeadlineExceeded):
+		s.finish(j, StateFailed, fmt.Sprintf("job deadline (%v) exceeded", j.timeout), nil)
+	default:
+		s.finish(j, StateFailed, err.Error(), nil)
+	}
+}
+
+// finish moves j (owned by the calling worker, state running) to a terminal
+// state and announces the transition.
+func (s *Server) finish(j *job, state, errMsg string, report *core.Report) {
+	j.mu.Lock()
+	j.state = state
+	j.err = errMsg
+	j.result = report
+	j.finished = time.Now().UTC()
+	j.mu.Unlock()
+	s.announce(j, state, errMsg)
+}
+
+// announce records a terminal transition in the job's event stream and bumps
+// the outcome counter. The state fields must already be set.
+func (s *Server) announce(j *job, state, errMsg string) {
+	j.events.append(JobEvent{Event: core.Event{Type: EventState}, State: state, Error: errMsg})
+	j.events.close()
+	switch state {
+	case StateDone:
+		s.metrics.jobsDone.Add(1)
+	case StateFailed:
+		s.metrics.jobsFailed.Add(1)
+	case StateCanceled:
+		s.metrics.jobsCanceled.Add(1)
+	}
+	s.logf("job %s %s%s", j.id, state, suffixIf(errMsg))
+}
+
+func suffixIf(msg string) string {
+	if msg == "" {
+		return ""
+	}
+	return ": " + msg
+}
+
+// cancelIfQueued finishes a still-queued job as canceled; the worker that
+// later pulls it off the queue sees the terminal state and skips it. It is a
+// no-op for running or terminal jobs. The transition happens atomically
+// under the job lock, so it cannot interleave with a worker claiming the
+// job (runJob moves queued → running under the same lock).
+func (s *Server) cancelIfQueued(j *job, reason string) bool {
+	j.mu.Lock()
+	if j.state != StateQueued {
+		j.mu.Unlock()
+		return false
+	}
+	j.canceled = true
+	j.state = StateCanceled
+	j.err = reason
+	j.finished = time.Now().UTC()
+	j.mu.Unlock()
+	s.announce(j, StateCanceled, reason)
+	return true
+}
+
+// register adds j to the job table, evicting the oldest terminal records
+// beyond the retention bound.
+func (s *Server) register(j *job) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.registerLocked(j)
+}
+
+// registerLocked is register with s.mu already held.
+func (s *Server) registerLocked(j *job) {
+	s.jobs[j.id] = j
+	s.order = append(s.order, j.id)
+	for len(s.order) > s.cfg.MaxRetainedJobs {
+		evicted := false
+		for i, id := range s.order {
+			old := s.jobs[id]
+			old.mu.Lock()
+			dead := terminal(old.state)
+			old.mu.Unlock()
+			if dead {
+				delete(s.jobs, id)
+				s.order = append(s.order[:i], s.order[i+1:]...)
+				evicted = true
+				break
+			}
+		}
+		if !evicted {
+			break // every retained job is still live; keep them all
+		}
+	}
+}
+
+func (s *Server) lookup(id string) (*job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+func (s *Server) jobCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.jobs)
+}
+
+// --- HTTP handlers ---
+
+// apiError is the JSON error envelope.
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	var req jobRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			writeJSON(w, http.StatusRequestEntityTooLarge, apiError{Error: err.Error()})
+			return
+		}
+		writeJSON(w, http.StatusBadRequest, apiError{Error: "invalid request body: " + err.Error()})
+		return
+	}
+	key, src, err := req.normalize(s.cfg.DataDir)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: err.Error()})
+		return
+	}
+	timeout := s.cfg.DefaultTimeout
+	if req.TimeoutSeconds > 0 {
+		timeout = time.Duration(req.TimeoutSeconds * float64(time.Second))
+	}
+	if s.cfg.MaxTimeout > 0 && (timeout <= 0 || timeout > s.cfg.MaxTimeout) {
+		timeout = s.cfg.MaxTimeout
+	}
+
+	j := &job{
+		req:       req,
+		key:       key,
+		src:       src,
+		state:     StateQueued,
+		submitted: time.Now().UTC(),
+		timeout:   timeout,
+		events:    newEventLog(),
+	}
+
+	// Admission happens under the server lock so the draining check, the
+	// non-blocking enqueue and Shutdown's close(queue) cannot interleave.
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		s.metrics.rejectedDraining.Add(1)
+		writeJSON(w, http.StatusServiceUnavailable, apiError{Error: "server is shutting down"})
+		return
+	}
+	s.nextID++
+	j.id = fmt.Sprintf("j-%d", s.nextID)
+	s.mu.Unlock()
+
+	// Content-addressed fast path: a byte-identical dataset profiled with
+	// the same result-affecting options is served from the cache without
+	// queueing.
+	if report, ok := s.cache.get(key); ok {
+		j.cacheHit = true
+		j.state = StateDone
+		j.result = report
+		j.finished = j.submitted
+		j.events.append(JobEvent{Event: core.Event{Type: EventState}, State: StateDone})
+		j.events.close()
+		s.register(j)
+		s.metrics.jobsSubmitted.Add(1)
+		s.metrics.jobsDone.Add(1)
+		s.logf("job %s done (result cache hit)", j.id)
+		w.Header().Set("Location", "/v1/jobs/"+j.id)
+		writeJSON(w, http.StatusOK, j.view())
+		return
+	}
+
+	// Enqueue and register under one critical section: Shutdown's
+	// queued-job sweep runs under the same lock, so every job it can find
+	// in the queue is also in the table.
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		s.metrics.rejectedDraining.Add(1)
+		writeJSON(w, http.StatusServiceUnavailable, apiError{Error: "server is shutting down"})
+		return
+	}
+	select {
+	case s.queue <- j:
+		s.registerLocked(j)
+		s.mu.Unlock()
+	default:
+		s.mu.Unlock()
+		s.metrics.rejectedQueueFull.Add(1)
+		writeJSON(w, http.StatusTooManyRequests, apiError{
+			Error: fmt.Sprintf("job queue is full (%d waiting); retry later", s.cfg.QueueDepth),
+		})
+		return
+	}
+	s.metrics.jobsSubmitted.Add(1)
+	j.events.append(JobEvent{Event: core.Event{Type: EventState}, State: StateQueued})
+	s.logf("job %s queued: algorithm=%s dataset=%s sha256=%s", j.id, req.Algorithm, req.Dataset, key.DatasetSHA256[:12])
+	w.Header().Set("Location", "/v1/jobs/"+j.id)
+	writeJSON(w, http.StatusAccepted, j.view())
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookup(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, apiError{Error: "unknown job"})
+		return
+	}
+	writeJSON(w, http.StatusOK, j.view())
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	ids := append([]string(nil), s.order...)
+	jobs := make([]*job, 0, len(ids))
+	for _, id := range ids {
+		jobs = append(jobs, s.jobs[id])
+	}
+	s.mu.Unlock()
+	views := make([]JobView, 0, len(jobs))
+	for _, j := range jobs {
+		v := j.view()
+		v.Result = nil // summaries stay light; fetch the job for the report
+		views = append(views, v)
+	}
+	writeJSON(w, http.StatusOK, views)
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookup(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, apiError{Error: "unknown job"})
+		return
+	}
+	if s.cancelIfQueued(j, "canceled") {
+		writeJSON(w, http.StatusOK, j.view())
+		return
+	}
+	j.mu.Lock()
+	if terminal(j.state) {
+		j.mu.Unlock()
+		writeJSON(w, http.StatusOK, j.view()) // idempotent no-op
+		return
+	}
+	// Running: flag the cancellation and cut the job's context; the worker
+	// observes context.Canceled and finishes the job as canceled.
+	j.canceled = true
+	cancel := j.cancel
+	j.mu.Unlock()
+	cancel()
+	writeJSON(w, http.StatusAccepted, j.view())
+}
+
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookup(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, apiError{Error: "unknown job"})
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("Cache-Control", "no-store")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	from := 0
+	for {
+		batch, done := j.events.next(r.Context(), from)
+		for _, e := range batch {
+			if err := enc.Encode(e); err != nil {
+				return
+			}
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		from += len(batch)
+		if done {
+			return
+		}
+	}
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	if draining {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.writeMetrics(w)
+}

@@ -1,0 +1,109 @@
+#!/bin/sh
+# smoke_profiled.sh — end-to-end smoke test of the profiled service: start
+# the daemon, submit a small job over HTTP, poll to completion, and assert
+# the result matches what cmd/profile emits for the same dataset. A second
+# submission must be served from the content-addressed result cache.
+#
+# Requires curl and jq. Run from the repo root.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+for tool in curl jq; do
+	if ! command -v "$tool" >/dev/null 2>&1; then
+		echo "smoke_profiled: $tool not found, skipping" >&2
+		exit 0
+	fi
+done
+
+workdir=$(mktemp -d)
+trap 'kill "$server_pid" 2>/dev/null || true; rm -rf "$workdir"' EXIT INT TERM
+
+echo "== build =="
+go build -o "$workdir/profiled" ./cmd/profiled
+go build -o "$workdir/profile" ./cmd/profile
+
+cat > "$workdir/data.csv" <<'EOF'
+id,zip,city
+1,10115,Berlin
+2,10115,Berlin
+3,14467,Potsdam
+4,69117,Heidelberg
+EOF
+
+echo "== start profiled =="
+"$workdir/profiled" -addr 127.0.0.1:0 -workers 1 > "$workdir/out.log" 2> "$workdir/err.log" &
+server_pid=$!
+
+addr=""
+for _ in $(seq 1 100); do
+	addr=$(sed -n 's/^profiled: listening on //p' "$workdir/out.log" | head -n1)
+	[ -n "$addr" ] && break
+	sleep 0.1
+done
+if [ -z "$addr" ]; then
+	echo "smoke_profiled: server never reported its address" >&2
+	cat "$workdir/err.log" >&2
+	exit 1
+fi
+base="http://$addr"
+echo "server at $base"
+
+curl -fsS "$base/healthz" | jq -e '.status == "ok"' > /dev/null
+
+echo "== submit job =="
+jq -Rs '{csv: ., dataset: "smoke"}' < "$workdir/data.csv" > "$workdir/req.json"
+job_id=$(curl -fsS -X POST -H 'Content-Type: application/json' \
+	--data-binary @"$workdir/req.json" "$base/v1/jobs" | jq -r '.id')
+echo "job $job_id"
+
+state=""
+for _ in $(seq 1 100); do
+	state=$(curl -fsS "$base/v1/jobs/$job_id" | jq -r '.state')
+	case "$state" in done|failed|canceled) break ;; esac
+	sleep 0.1
+done
+if [ "$state" != "done" ]; then
+	echo "smoke_profiled: job ended as '$state'" >&2
+	curl -fsS "$base/v1/jobs/$job_id" >&2 || true
+	exit 1
+fi
+
+echo "== compare with cmd/profile =="
+# Timings, checks and cache counters vary run to run; the discovered
+# metadata must be identical.
+curl -fsS "$base/v1/jobs/$job_id" \
+	| jq -S '.result | {algorithm, columns, rows, inds, uccs, fds}' > "$workdir/api.json"
+"$workdir/profile" -format json "$workdir/data.csv" \
+	| jq -S '{algorithm, columns, rows, inds, uccs, fds}' > "$workdir/cli.json"
+# The dataset name differs (path vs "smoke"), so it is excluded above.
+if ! diff -u "$workdir/cli.json" "$workdir/api.json"; then
+	echo "smoke_profiled: API result differs from CLI result" >&2
+	exit 1
+fi
+
+echo "== resubmit: expect result-cache hit =="
+hit=$(curl -fsS -X POST -H 'Content-Type: application/json' \
+	--data-binary @"$workdir/req.json" "$base/v1/jobs" | jq -r '.cache_hit and .state == "done"')
+if [ "$hit" != "true" ]; then
+	echo "smoke_profiled: second submission was not served from the cache" >&2
+	exit 1
+fi
+curl -fsS "$base/metrics" | grep -q '^profiled_result_cache_hits_total 1$'
+
+echo "== event stream =="
+curl -fsS "$base/v1/jobs/$job_id/events" | tail -n1 | jq -e '.type == "state" and .state == "done"' > /dev/null
+
+echo "== graceful shutdown =="
+kill -TERM "$server_pid"
+for _ in $(seq 1 100); do
+	kill -0 "$server_pid" 2>/dev/null || break
+	sleep 0.1
+done
+if kill -0 "$server_pid" 2>/dev/null; then
+	echo "smoke_profiled: server did not exit after SIGTERM" >&2
+	exit 1
+fi
+grep -q 'drained cleanly' "$workdir/err.log"
+
+echo "smoke_profiled: all checks passed"

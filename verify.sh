@@ -25,4 +25,7 @@ go test -race ./...
 echo "== worker-count equivalence (workers=1 vs N) =="
 go test -race -count=1 -run 'TestWorkerCountEquivalence|TestParallelMudsCancellation' ./internal/core/
 
+echo "== profiled service smoke test =="
+./scripts/smoke_profiled.sh
+
 echo "verify.sh: all checks passed"

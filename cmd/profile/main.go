@@ -6,7 +6,7 @@
 //
 //	profile [-algorithm name] [-format text|json] [-timeout d] [-sep ,]
 //	        [-no-header] [-max-rows N] [-stats] [-timings] [-seed N]
-//	        [-workers N] [-nary K] [-approx eps] file.csv
+//	        [-workers N] [-max-cache-bytes N] [-nary K] [-approx eps] file.csv
 //
 // The strategy names accepted by -algorithm come from the engine registry;
 // run with -h for the current list. -format json emits the same core.Report
@@ -68,6 +68,7 @@ func run(args []string, out io.Writer) error {
 		timings   = flag.Bool("timings", false, "print per-phase timings")
 		seed      = flag.Int64("seed", 0, "random-walk seed (results are seed-independent)")
 		workers   = flag.Int("workers", 0, "worker pool size for the parallel phases (0 = all CPUs, 1 = sequential; results are identical for every value)")
+		cacheMax  = flag.Int64("max-cache-bytes", 0, "PLI cache byte budget (0 = default, -1 = unbudgeted); over budget the cache sheds and recomputes, results are identical for every value")
 		naryArity = flag.Int("nary", 0, "also discover n-ary INDs up to this arity (0 = off)")
 		approxEps = flag.Float64("approx", 0, "also discover approximate FDs with g3 error ≤ eps (0 = off)")
 		asJSON    = flag.Bool("json", false, "deprecated alias for -format json")
@@ -116,11 +117,11 @@ func run(args []string, out io.Writer) error {
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
 	}
-	res, err := core.RunContext(ctx, *algorithm, src, core.Options{Seed: *seed, Workers: *workers}, nil)
-	if err != nil {
-		if errors.Is(err, context.DeadlineExceeded) {
-			return fmt.Errorf("timed out after %v (partial results discarded)", *timeout)
-		}
+	res, err := core.RunContext(ctx, *algorithm, src, core.Options{Seed: *seed, Workers: *workers, MaxCacheBytes: *cacheMax}, nil)
+	// Anytime semantics: a deadline hit still prints the dependencies
+	// confirmed before the stop — marked partial — and exits non-zero.
+	timedOut := errors.Is(err, context.DeadlineExceeded) && res != nil
+	if err != nil && !timedOut {
 		return err
 	}
 	rel := src.Relation()
@@ -128,15 +129,24 @@ func run(args []string, out io.Writer) error {
 	if *format == "json" {
 		enc := json.NewEncoder(out)
 		enc.SetIndent("", "  ")
-		return enc.Encode(core.NewReport(rel, res, *withStats))
+		if err := enc.Encode(core.NewReport(rel, res, *withStats)); err != nil {
+			return err
+		}
+	} else {
+		if err := printText(out, rel, res, textOptions{
+			algorithm: *algorithm,
+			nary:      *naryArity,
+			approxEps: *approxEps,
+			withStats: *withStats,
+			timings:   *timings,
+		}); err != nil {
+			return err
+		}
 	}
-	return printText(out, rel, res, textOptions{
-		algorithm: *algorithm,
-		nary:      *naryArity,
-		approxEps: *approxEps,
-		withStats: *withStats,
-		timings:   *timings,
-	})
+	if timedOut {
+		return fmt.Errorf("timed out after %v (partial results above: every listed dependency is confirmed, more may exist)", *timeout)
+	}
+	return nil
 }
 
 type textOptions struct {
@@ -161,7 +171,11 @@ func printText(out io.Writer, rel *relation.Relation, res *core.Result, o textOp
 
 	printf("# %s — %d columns × %d rows (%d duplicate rows removed)\n",
 		rel.Name(), rel.NumColumns(), rel.NumRows(), rel.DuplicatesRemoved())
-	printf("# algorithm=%s total=%v\n\n", o.algorithm, res.Total().Round(time.Microsecond))
+	printf("# algorithm=%s total=%v\n", o.algorithm, res.Total().Round(time.Microsecond))
+	if res.Partial {
+		printf("# PARTIAL: run interrupted; every dependency below is confirmed, more may exist\n")
+	}
+	printf("\n")
 
 	if len(res.INDs) > 0 || o.algorithm != core.StrategyTane {
 		printf("Unary inclusion dependencies (%d):\n", len(res.INDs))

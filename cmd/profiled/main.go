@@ -7,7 +7,8 @@
 //
 //	profiled [-addr host:port] [-workers N] [-queue N] [-job-timeout d]
 //	         [-max-job-timeout d] [-shutdown-timeout d] [-data dir]
-//	         [-cache N] [-max-body bytes] [-quiet]
+//	         [-cache N] [-max-body bytes] [-max-cache-bytes N]
+//	         [-retries N] [-retry-backoff d] [-quiet]
 //
 // API:
 //
@@ -51,6 +52,9 @@ func main() {
 		dataDir         = flag.String("data", "", "directory for path-based dataset submissions (empty = inline CSV only)")
 		cacheEntries    = flag.Int("cache", 256, "content-addressed result cache size (reports)")
 		maxBody         = flag.Int64("max-body", 32<<20, "maximum request body size in bytes")
+		maxCacheBytes   = flag.Int64("max-cache-bytes", 0, "per-job PLI cache byte budget (0 = engine default, -1 = unbudgeted); over budget the cache sheds and recomputes")
+		retries         = flag.Int("retries", 2, "re-runs of a job failing on a transient error (0 = none)")
+		retryBackoff    = flag.Duration("retry-backoff", 50*time.Millisecond, "sleep before the first retry, doubled per attempt")
 		quiet           = flag.Bool("quiet", false, "suppress per-job log lines")
 	)
 	flag.Parse()
@@ -69,6 +73,9 @@ func main() {
 		*jobTimeout = -1 // Config: negative disables the default deadline
 	}
 
+	if *retries <= 0 {
+		*retries = -1 // Config: negative disables retries
+	}
 	srv := server.New(server.Config{
 		Workers:        *workers,
 		QueueDepth:     *queueDepth,
@@ -77,6 +84,9 @@ func main() {
 		DataDir:        *dataDir,
 		CacheEntries:   *cacheEntries,
 		MaxBodyBytes:   *maxBody,
+		MaxCacheBytes:  *maxCacheBytes,
+		RetryAttempts:  *retries,
+		RetryBackoff:   *retryBackoff,
 		Logf:           logf,
 	})
 

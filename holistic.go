@@ -80,6 +80,11 @@ type (
 	MemoSource = core.MemoSource
 	// CacheStats is a snapshot of the shared PLI cache counters.
 	CacheStats = pli.CacheStats
+	// Completeness records how far an interrupted (partial) run got.
+	Completeness = core.Completeness
+	// PanicError is the engine's conversion of a recovered profiling panic
+	// into an ordinary error, captured stack included.
+	PanicError = core.PanicError
 )
 
 // Profiling strategies.

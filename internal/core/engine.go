@@ -2,9 +2,12 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"runtime/debug"
 	"time"
 
+	"holistic/internal/parallel"
 	"holistic/internal/pli"
 	"holistic/internal/relation"
 )
@@ -92,6 +95,9 @@ type recorder struct {
 	index  map[string]int
 	checks int
 	cache  []pli.CacheStats
+	// current is the phase that has started but not yet ended; a run that
+	// stops early reports it as the interrupted phase of its Completeness.
+	current string
 }
 
 func newRecorder(user Observer) *recorder {
@@ -101,9 +107,15 @@ func newRecorder(user Observer) *recorder {
 	return &recorder{user: user, index: make(map[string]int)}
 }
 
-func (r *recorder) PhaseStart(name string) { r.user.PhaseStart(name) }
+func (r *recorder) PhaseStart(name string) {
+	r.current = name
+	r.user.PhaseStart(name)
+}
 
 func (r *recorder) PhaseEnd(name string, d time.Duration) {
+	if r.current == name {
+		r.current = ""
+	}
 	if i, ok := r.index[name]; ok {
 		r.phases[i].Duration += d
 	} else {
@@ -132,6 +144,16 @@ func (r *recorder) finish(res *Result) {
 	res.Cache = r.cache
 }
 
+// completeness snapshots how far the run got: the phases that completed and
+// the one it stopped inside, if any.
+func (r *recorder) completeness() *Completeness {
+	c := &Completeness{InterruptedPhase: r.current}
+	for _, p := range r.phases {
+		c.CompletedPhases = append(c.CompletedPhases, p.Name)
+	}
+	return c
+}
+
 // timePhase runs fn as the named phase, reporting its boundaries and wall
 // time to obs. It refuses to start a phase on a dead context, so a cancelled
 // run stops at the next phase boundary even if fn never polls ctx.
@@ -158,7 +180,13 @@ func Run(strategy string, src Source, opts Options) (*Result, error) {
 //
 // obs may be nil. When ctx is cancelled or its deadline passes, the run
 // stops promptly and returns the partial result — dependency lists found so
-// far plus the phase timings — together with ctx.Err().
+// far plus the phase timings — together with ctx.Err(). The returned
+// Result's Partial flag and Completeness record how far the run got.
+//
+// Panics anywhere inside the run (the loader, the strategy, a parallel
+// worker task) are recovered and converted into a *PanicError with the
+// captured stack; the engine never lets a profiling panic escape to the
+// caller's goroutine.
 func RunContext(ctx context.Context, strategy string, src Source, opts Options, obs Observer) (*Result, error) {
 	s, ok := Lookup(strategy)
 	if !ok {
@@ -169,8 +197,12 @@ func RunContext(ctx context.Context, strategy string, src Source, opts Options, 
 	}
 	rec := newRecorder(obs)
 	var rel *relation.Relation
-	err := timePhase(ctx, rec, PhaseLoad, func() error {
-		var err error
+	err := timePhase(ctx, rec, PhaseLoad, func() (err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				err = recoveredError(s.Name(), r)
+			}
+		}()
 		rel, err = src.Load()
 		return err
 	})
@@ -194,16 +226,51 @@ func RunRelationContext(ctx context.Context, strategy string, rel *relation.Rela
 	return profileWith(ctx, s, rel, opts, newRecorder(obs))
 }
 
-// profileWith runs s under the recorder and finalises the result.
+// profileWith runs s under the recorder (with panic isolation) and finalises
+// the result, marking it partial when the run did not complete cleanly.
 func profileWith(ctx context.Context, s Strategy, rel *relation.Relation, opts Options, rec *recorder) (*Result, error) {
-	res, err := s.Profile(ctx, rel, opts, rec)
+	res, err := safeProfile(ctx, s, rel, opts, rec)
 	if res == nil {
-		if err != nil {
-			return nil, err
+		if err != nil && !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) {
+			var pe *PanicError
+			if !errors.As(err, &pe) {
+				// Plain strategy errors without a result keep the historical
+				// nil-result contract; cancellation and panics return an
+				// (empty) anytime result so callers can still read the phase
+				// timings accumulated before the stop.
+				return nil, err
+			}
 		}
 		res = &Result{}
 	}
 	res.Algorithm = s.Name()
 	rec.finish(res)
+	if err != nil {
+		res.Partial = true
+		res.Completeness = rec.completeness()
+	}
 	return res, err
+}
+
+// safeProfile runs the strategy with panic isolation: a panic anywhere below
+// (the strategy body, a parallel worker task re-raised as *parallel.TaskPanic,
+// an injected fault) is recovered into a *PanicError instead of unwinding
+// into the engine's caller.
+func safeProfile(ctx context.Context, s Strategy, rel *relation.Relation, opts Options, rec *recorder) (res *Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			res, err = nil, recoveredError(s.Name(), r)
+		}
+	}()
+	return s.Profile(ctx, rel, opts, rec)
+}
+
+// recoveredError converts a recovered panic value into a *PanicError,
+// preserving a worker task's original stack when the panic crossed a
+// parallel.For boundary.
+func recoveredError(strategy string, r any) error {
+	if tp, ok := r.(*parallel.TaskPanic); ok {
+		return &PanicError{Strategy: strategy, Value: tp, Stack: string(tp.Stack)}
+	}
+	return &PanicError{Strategy: strategy, Value: r, Stack: string(debug.Stack())}
 }

@@ -21,6 +21,13 @@ type Options struct {
 	IND ind.Options
 	// CacheEntries bounds the shared PLI cache (0 = default).
 	CacheEntries int
+	// MaxCacheBytes budgets the approximate heap held by the shared PLI
+	// cache (0 = default of pli.DefaultCacheBytes; < 0 disables the byte
+	// budget). When the budget is hit the cache sheds intersections and the
+	// strategies recompute them on demand — the memory governor trades time
+	// for bounded memory, and the discovered IND/UCC/FD sets are identical
+	// for every budget.
+	MaxCacheBytes int64
 	// Workers bounds the worker pool of the parallel phases: single-column
 	// PLI construction, FUN/TANE per-level candidate validation, and the
 	// per-right-hand-side R\Z and completion-sweep walks of MUDS. <= 0
@@ -34,14 +41,28 @@ type Options struct {
 // workerCount resolves Workers to an effective pool width.
 func (o Options) workerCount() int { return parallel.Workers(o.Workers) }
 
+// cacheBudget resolves MaxCacheBytes to the effective byte budget handed to
+// the cache constructors: 0 = default, < 0 = unbudgeted.
+func (o Options) cacheBudget() int64 {
+	switch {
+	case o.MaxCacheBytes < 0:
+		return 0 // explicit opt-out: no byte budget
+	case o.MaxCacheBytes == 0:
+		return pli.DefaultCacheBytes
+	default:
+		return o.MaxCacheBytes
+	}
+}
+
 // newProvider builds the PLI provider for one strategy run: sharded and
 // concurrency-safe when the run fans out, the cheaper single-goroutine
-// MapCache when it stays sequential.
+// MapCache when it stays sequential. Both are byte-budgeted (the memory
+// governor) per cacheBudget.
 func (o Options) newProvider(rel *relation.Relation) *pli.Provider {
 	if w := o.workerCount(); w > 1 {
-		return pli.NewConcurrentProvider(rel, o.CacheEntries, w)
+		return pli.NewProviderWithCache(rel, pli.NewShardedCacheBudget(w, o.CacheEntries, o.cacheBudget()))
 	}
-	return pli.NewProvider(rel, o.CacheEntries)
+	return pli.NewProviderWithCache(rel, pli.NewMapCacheBudget(o.CacheEntries, o.cacheBudget()))
 }
 
 // Muds runs the full holistic MUDS algorithm (paper Sec. 5) on a loaded
@@ -56,16 +77,14 @@ func Muds(rel *relation.Relation, opts Options) *Result {
 // none). The lattice traversals poll ctx and stop promptly when it is
 // cancelled or its deadline passes, returning the partial result — the
 // dependencies and phase timings accumulated so far — together with
-// ctx.Err().
+// ctx.Err(). It runs through the engine's protected path, so panics are
+// isolated exactly as in RunContext.
 func MudsContext(ctx context.Context, rel *relation.Relation, opts Options, obs Observer) (*Result, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	rec := newRecorder(obs)
-	res, err := mudsProfile(ctx, rel, opts, rec)
-	res.Algorithm = StrategyMuds
-	rec.finish(res)
-	return res, err
+	s, _ := Lookup(StrategyMuds)
+	return profileWith(ctx, s, rel, opts, newRecorder(obs))
 }
 
 // mudsProfile is the registered MUDS strategy implementation. Phase timings

@@ -25,6 +25,11 @@ type Report struct {
 	Checks            int              `json:"checks"`
 	Cache             []pli.CacheStats `json:"cache,omitempty"`
 	Stats             []stats.Column   `json:"stats,omitempty"`
+	// Partial marks an anytime result: the run stopped early and the
+	// dependency lists hold only the minimal dependencies confirmed before
+	// the stop. Completeness says how far the run got.
+	Partial      bool          `json:"partial,omitempty"`
+	Completeness *Completeness `json:"completeness,omitempty"`
 }
 
 // INDReport is one unary inclusion dependency with resolved names.
@@ -73,6 +78,11 @@ func NewReport(rel *relation.Relation, res *Result, withStats bool) *Report {
 	}
 	for _, p := range res.Phases {
 		r.Phases = append(r.Phases, PhaseReport{Name: p.Name, Seconds: p.Duration.Seconds()})
+	}
+	r.Partial = res.Partial
+	if res.Completeness != nil {
+		c := *res.Completeness
+		r.Completeness = &c
 	}
 	if withStats {
 		r.Stats = stats.Profile(rel)

@@ -43,6 +43,27 @@ type Result struct {
 	// reporting order (the sequential baseline reports several). The engine
 	// assembles it from the Observer's CacheStats events.
 	Cache []pli.CacheStats
+	// Partial marks an anytime result: the run stopped early (deadline,
+	// cancellation, panic, strategy error) and the dependency lists hold
+	// only what was confirmed up to that point. Every dependency present is
+	// still valid — the pruning-based algorithms only emit verified minimal
+	// dependencies — but the lists may be incomplete. The engine sets it.
+	Partial bool
+	// Completeness describes how far a partial run got; nil on complete
+	// runs.
+	Completeness *Completeness
+}
+
+// Completeness is the per-task progress marker of a partial result: which
+// phases ran to completion and which one the run was interrupted in. The
+// phase names identify the task coverage — a MUDS run interrupted in
+// "calculateRZ" has complete INDs and UCCs but only partially swept FDs; one
+// interrupted in "DUCC" has complete INDs and a partial UCC walk.
+type Completeness struct {
+	// CompletedPhases lists the phases that ran to completion, in order.
+	CompletedPhases []string `json:"completed_phases"`
+	// InterruptedPhase names the phase the run stopped inside, if any.
+	InterruptedPhase string `json:"interrupted_phase,omitempty"`
 }
 
 // Total returns the summed duration of all phases.

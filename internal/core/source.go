@@ -38,22 +38,27 @@ func (s RelationSource) Load() (*relation.Relation, error) {
 // RelationSource internally, so memoisation is safe at the engine boundary.
 // Not safe for concurrent use.
 type MemoSource struct {
-	Src    Source
-	rel    *relation.Relation
-	err    error
-	loaded bool
+	Src Source
+	rel *relation.Relation
 }
 
 // Name implements Source.
 func (m *MemoSource) Name() string { return m.Src.Name() }
 
-// Load implements Source, delegating once and replaying the outcome.
+// Load implements Source, delegating once and replaying the outcome. Only a
+// successful load is memoised: a failed one (e.g. a transient I/O error) is
+// re-attempted on the next call, so retry loops above the engine get a fresh
+// chance instead of replaying the cached failure.
 func (m *MemoSource) Load() (*relation.Relation, error) {
-	if !m.loaded {
-		m.rel, m.err = m.Src.Load()
-		m.loaded = true
+	if m.rel != nil {
+		return m.rel, nil
 	}
-	return m.rel, m.err
+	rel, err := m.Src.Load()
+	if err != nil {
+		return nil, err
+	}
+	m.rel = rel
+	return m.rel, nil
 }
 
 // Relation returns the memoised relation (nil before the first successful

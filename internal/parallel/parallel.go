@@ -8,14 +8,55 @@
 // the caller applies the slots in index order after the pool drains. Worker
 // scheduling then influences only wall time — discovered dependency sets are
 // byte-identical for every worker count, which the equivalence tests assert.
+//
+// Fault tolerance: a panic inside a task never escapes on a worker goroutine
+// (which would kill the whole process with no chance to recover). The pool
+// captures the first panic together with its stack, stops handing out new
+// tasks, waits for the running tasks to drain, and re-raises the panic on
+// the calling goroutine as a *TaskPanic — so the engine-level recover
+// converts it into a failed job instead of a dead daemon. The armed
+// faults.WorkerSpawn injection point degrades the pool to sequential
+// in-line execution, which is observationally identical apart from wall
+// time.
 package parallel
 
 import (
 	"context"
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
+
+	"holistic/internal/faults"
 )
+
+// TaskPanic wraps a panic captured inside a pool task, preserving the
+// panicking task's stack trace (re-panicking on the caller goroutine would
+// otherwise lose it). If the panic value is an error, Unwrap exposes it so
+// classification (errors.Is/As on injected faults, transient markers) works
+// through the wrapper.
+type TaskPanic struct {
+	// Task is the index of the panicking task.
+	Task int
+	// Value is the recovered panic value.
+	Value any
+	// Stack is the panicking goroutine's stack trace.
+	Stack []byte
+}
+
+// Error implements error.
+func (p *TaskPanic) Error() string {
+	return fmt.Sprintf("panic in parallel task %d: %v", p.Task, p.Value)
+}
+
+// Unwrap exposes the panic value when it is an error.
+func (p *TaskPanic) Unwrap() error {
+	if err, ok := p.Value.(error); ok {
+		return err
+	}
+	return nil
+}
 
 // Workers normalizes a worker-count option: values <= 0 select
 // runtime.GOMAXPROCS(0), everything else is returned unchanged.
@@ -35,6 +76,12 @@ func Workers(n int) int {
 // itself inside long loops). On a non-nil error some slots were never
 // written — callers must discard the partial results.
 //
+// Panics: if a task panics, the pool stops claiming new tasks, drains the
+// ones already running, and re-panics on the calling goroutine with a
+// *TaskPanic carrying the original value and stack. Callers therefore see
+// the same control flow as a panic in a plain sequential loop — and the
+// engine's panic isolation can convert it into an error.
+//
 // With workers <= 1 (or n <= 1) the tasks run inline on the calling
 // goroutine, in index order, with the same per-task cancellation check; the
 // sequential and parallel paths are therefore observationally identical.
@@ -44,6 +91,12 @@ func For(ctx context.Context, workers, n int, fn func(i int)) error {
 	}
 	if workers > n {
 		workers = n
+	}
+	// An injected worker-spawn fault degrades the pool to sequential
+	// execution: slower, never wrong (panic mode still panics, and is then
+	// handled by the caller's isolation layer).
+	if workers > 1 && faults.Degraded(faults.WorkerSpawn) {
+		workers = 1
 	}
 	if workers <= 1 || n == 1 {
 		for i := 0; i < n; i++ {
@@ -55,24 +108,43 @@ func For(ctx context.Context, workers, n int, fn func(i int)) error {
 		return nil
 	}
 
-	var next atomic.Int64
-	var wg sync.WaitGroup
+	var (
+		next    atomic.Int64
+		wg      sync.WaitGroup
+		aborted atomic.Bool
+		once    sync.Once
+		caught  *TaskPanic
+	)
+	runTask := func(i int) {
+		defer func() {
+			if r := recover(); r != nil {
+				once.Do(func() {
+					caught = &TaskPanic{Task: i, Value: r, Stack: debug.Stack()}
+				})
+				aborted.Store(true)
+			}
+		}()
+		fn(i)
+	}
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
 			for {
-				if ctx.Err() != nil {
+				if aborted.Load() || ctx.Err() != nil {
 					return
 				}
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
 				}
-				fn(i)
+				runTask(i)
 			}
 		}()
 	}
 	wg.Wait()
+	if caught != nil {
+		panic(caught)
+	}
 	return ctx.Err()
 }

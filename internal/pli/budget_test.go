@@ -1,0 +1,139 @@
+package pli
+
+import (
+	"testing"
+
+	"holistic/internal/bitset"
+)
+
+// TestApproxBytesModel pins the byte-accounting model the memory governor
+// budgets against: struct overhead, one slice header per cluster, four bytes
+// per stored row id.
+func TestApproxBytesModel(t *testing.T) {
+	// One cluster of 10 rows: 48 + 24 + 4*10.
+	if got := FromAllRows(10).ApproxBytes(); got != 112 {
+		t.Errorf("FromAllRows(10).ApproxBytes() = %d, want 112", got)
+	}
+	// Single-row relations strip to zero clusters.
+	if got := FromAllRows(1).ApproxBytes(); got != 48 {
+		t.Errorf("FromAllRows(1).ApproxBytes() = %d, want 48", got)
+	}
+	// Two clusters of 3: 48 + 2*24 + 4*6.
+	p := FromColumn([]int32{0, 1, 0, 1, 0, 1}, 2)
+	if got := p.ApproxBytes(); got != 120 {
+		t.Errorf("two-cluster ApproxBytes() = %d, want 120", got)
+	}
+}
+
+// TestMapCacheBudgetSheds fills a byte-budgeted cache past its budget and
+// checks the invariant the governor relies on: Bytes() never exceeds the
+// budget after a Put, shed entries are counted as evictions, and the most
+// recent store is retained.
+func TestMapCacheBudgetSheds(t *testing.T) {
+	// Each FromAllRows(10) PLI costs 112 bytes; a 300-byte budget holds two.
+	c := NewMapCacheBudget(64, 300)
+	for i := 0; i < 5; i++ {
+		s := bitset.New(i, i+1)
+		c.Put(s, FromAllRows(10))
+		if c.Bytes() > 300 {
+			t.Fatalf("after put %d: Bytes() = %d, budget is 300", i, c.Bytes())
+		}
+		if _, ok := c.Get(s); !ok {
+			t.Fatalf("put %d was shed immediately despite fitting the budget", i)
+		}
+	}
+	if c.Len() > 2 {
+		t.Errorf("Len = %d, want <= 2 under a two-entry byte budget", c.Len())
+	}
+	if _, _, evictions := c.Counters(); evictions < 3 {
+		t.Errorf("evictions = %d, want >= 3 (five puts, two slots)", evictions)
+	}
+}
+
+// TestMapCacheOversizePLINeverCached checks the OOM guard: a single PLI
+// larger than the whole budget is refused outright instead of evicting
+// everything else to make room that still would not suffice.
+func TestMapCacheOversizePLINeverCached(t *testing.T) {
+	c := NewMapCacheBudget(64, 200)
+	small := bitset.New(0, 1)
+	c.Put(small, FromAllRows(10)) // 112 bytes, fits
+	c.Put(bitset.New(2, 3), FromAllRows(1000))
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d, want 1 (oversize PLI must be refused)", c.Len())
+	}
+	if _, ok := c.Get(small); !ok {
+		t.Fatal("refusing the oversize PLI evicted an innocent resident entry")
+	}
+	if _, _, evictions := c.Counters(); evictions != 1 {
+		t.Errorf("evictions = %d, want 1 (the refused store)", evictions)
+	}
+}
+
+// TestMapCacheBudgetReplaceAccounting replaces a key with a differently sized
+// PLI and checks the byte ledger tracks the delta, not the sum.
+func TestMapCacheBudgetReplaceAccounting(t *testing.T) {
+	c := NewMapCacheBudget(64, 1<<20)
+	s := bitset.New(0, 1)
+	c.Put(s, FromAllRows(10)) // 112
+	c.Put(s, FromAllRows(20)) // 152
+	if got := c.Bytes(); got != 152 {
+		t.Errorf("Bytes() after replace = %d, want 152", got)
+	}
+	if c.Len() != 1 {
+		t.Errorf("Len = %d, want 1 after replacing the same key", c.Len())
+	}
+}
+
+// TestUnbudgetedMapCacheBytes checks byte accounting stays correct with no
+// budget set (the governor reads Bytes() for stats even when not enforcing).
+func TestUnbudgetedMapCacheBytes(t *testing.T) {
+	c := NewMapCache(64)
+	var want int64
+	for i := 0; i < 4; i++ {
+		p := FromAllRows(10 + i)
+		want += p.ApproxBytes()
+		c.Put(bitset.New(i, i+1), p)
+	}
+	if got := c.Bytes(); got != want {
+		t.Errorf("Bytes() = %d, want %d", got, want)
+	}
+}
+
+// TestMapCacheBudgetDefault checks the sentinel: a negative budget selects
+// DefaultCacheBytes, zero disables budgeting.
+func TestMapCacheBudgetDefault(t *testing.T) {
+	if c := NewMapCacheBudget(0, -1); c.maxBytes != DefaultCacheBytes {
+		t.Errorf("maxBytes = %d, want DefaultCacheBytes", c.maxBytes)
+	}
+	if c := NewMapCacheBudget(0, 0); c.maxBytes != 0 {
+		t.Errorf("maxBytes = %d, want 0 (no budget)", c.maxBytes)
+	}
+}
+
+// TestShardedCacheBudgetSplit checks the total byte budget is enforced across
+// shards: after hammering every shard, the aggregate Bytes() stays within the
+// configured total.
+func TestShardedCacheBudgetSplit(t *testing.T) {
+	const budget = 4 << 10
+	c := NewShardedCacheBudget(4, 1<<10, budget)
+	for i := 0; i < 200; i++ {
+		c.Put(bitset.New(i%32, i%32+1+i/32), FromAllRows(50))
+	}
+	if got := c.Bytes(); got <= 0 || got > budget {
+		t.Errorf("aggregate Bytes() = %d, want in (0, %d]", got, budget)
+	}
+	if _, _, evictions := c.Counters(); evictions == 0 {
+		t.Error("no evictions despite overflowing the byte budget")
+	}
+}
+
+// TestSyncCacheBytesDelegates checks the locking wrapper forwards the byte
+// ledger of its inner cache.
+func TestSyncCacheBytesDelegates(t *testing.T) {
+	inner := NewMapCacheBudget(16, 1<<20)
+	c := NewSyncCache(inner)
+	c.Put(bitset.New(0, 1), FromAllRows(10))
+	if got := c.Bytes(); got != inner.Bytes() || got != 112 {
+		t.Errorf("SyncCache.Bytes() = %d, want 112", got)
+	}
+}

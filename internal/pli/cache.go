@@ -23,9 +23,17 @@ type Cache interface {
 	Put(s bitset.Set, pli *PLI)
 	// Len returns the number of cached entries.
 	Len() int
+	// Bytes returns the approximate heap bytes held by the cached PLIs
+	// (see PLI.ApproxBytes). It is what the memory governor budgets.
+	Bytes() int64
 	// Counters returns the accumulated hit/miss/eviction counts.
 	Counters() (hits, misses, evictions int64)
 }
+
+// DefaultCacheBytes is the default byte budget of a budgeted cache: enough
+// for the paper's workloads, small enough that a hostile wide relation
+// degrades to recomputation instead of OOM-killing the process.
+const DefaultCacheBytes = 256 << 20
 
 // CacheStats is a point-in-time snapshot of a Provider's cache behaviour,
 // combining the cache's own probe counters with the Provider's intersection
@@ -37,36 +45,56 @@ type CacheStats struct {
 	// Hits and Misses count cache probes (see Cache.Counters).
 	Hits   int64 `json:"hits"`
 	Misses int64 `json:"misses"`
-	// Evictions counts entries dropped by the eviction policy.
+	// Evictions counts entries dropped by the eviction policy (entry-count
+	// pressure and byte-budget shedding both land here).
 	Evictions int64 `json:"evictions"`
 	// Entries is the current number of cached multi-column PLIs.
 	Entries int `json:"entries"`
+	// Bytes is the approximate heap held by the cached PLIs.
+	Bytes int64 `json:"bytes"`
 	// Intersections counts the column intersections the Provider performed —
 	// the work the cache exists to avoid.
 	Intersections int64 `json:"intersections"`
 }
 
 // MapCache is the default Cache: a bounded map with a cheap random-replacement
-// policy. When the bound is reached, roughly half the entries are dropped;
-// map iteration order is effectively random, which serves as the replacement
-// choice. It is not safe for concurrent use; wrap it in a SyncCache to share
-// a Provider across goroutines.
+// policy. When the entry bound is reached, roughly half the entries are
+// dropped; map iteration order is effectively random, which serves as the
+// replacement choice. An optional byte budget (NewMapCacheBudget) additionally
+// bounds the approximate heap held by the cached PLIs: stores that would
+// exceed it shed other entries first, and a PLI larger than the whole budget
+// is never cached at all — the Provider then recomputes it on demand, trading
+// time for bounded memory. It is not safe for concurrent use; wrap it in a
+// SyncCache to share a Provider across goroutines.
 type MapCache struct {
 	entries    map[bitset.Set]*PLI
 	maxEntries int
+	maxBytes   int64 // 0 = no byte budget
+	bytes      int64
 
 	hits, misses, evictions int64
 }
 
-// NewMapCache builds a MapCache bounded to maxEntries cached PLIs.
-// maxEntries <= 0 selects DefaultCacheEntries.
+// NewMapCache builds a MapCache bounded to maxEntries cached PLIs with no
+// byte budget. maxEntries <= 0 selects DefaultCacheEntries.
 func NewMapCache(maxEntries int) *MapCache {
+	return NewMapCacheBudget(maxEntries, 0)
+}
+
+// NewMapCacheBudget builds a MapCache bounded to maxEntries cached PLIs and
+// approximately maxBytes of cached PLI heap (0 = no byte budget; < 0 selects
+// DefaultCacheBytes).
+func NewMapCacheBudget(maxEntries int, maxBytes int64) *MapCache {
 	if maxEntries <= 0 {
 		maxEntries = DefaultCacheEntries
+	}
+	if maxBytes < 0 {
+		maxBytes = DefaultCacheBytes
 	}
 	return &MapCache{
 		entries:    make(map[bitset.Set]*PLI),
 		maxEntries: maxEntries,
+		maxBytes:   maxBytes,
 	}
 }
 
@@ -81,24 +109,64 @@ func (c *MapCache) Get(s bitset.Set) (*PLI, bool) {
 	return pli, ok
 }
 
-// Put implements Cache, evicting roughly half the entries when full.
+// Put implements Cache, evicting roughly half the entries when the entry
+// bound is hit and shedding entries when the byte budget is exceeded.
 func (c *MapCache) Put(s bitset.Set, pli *PLI) {
+	sz := pli.ApproxBytes()
+	if old, ok := c.entries[s]; ok {
+		c.bytes += sz - old.ApproxBytes()
+		c.entries[s] = pli
+		c.shedOver(s)
+		return
+	}
+	if c.maxBytes > 0 && sz > c.maxBytes {
+		// This single PLI would blow the whole budget: never cache it. The
+		// Provider recomputes it when needed — slower, never OOM.
+		c.evictions++
+		return
+	}
 	if len(c.entries) >= c.maxEntries {
 		drop := len(c.entries) / 2
-		for k := range c.entries {
+		for k, v := range c.entries {
 			if drop == 0 {
 				break
 			}
+			c.bytes -= v.ApproxBytes()
 			delete(c.entries, k)
 			c.evictions++
 			drop--
 		}
 	}
 	c.entries[s] = pli
+	c.bytes += sz
+	c.shedOver(s)
+}
+
+// shedOver drops entries (never keep itself) until the byte budget holds
+// again. Map iteration order serves as the random replacement choice, as in
+// the entry-bound eviction.
+func (c *MapCache) shedOver(keep bitset.Set) {
+	if c.maxBytes <= 0 {
+		return
+	}
+	for k, v := range c.entries {
+		if c.bytes <= c.maxBytes {
+			return
+		}
+		if k == keep {
+			continue
+		}
+		c.bytes -= v.ApproxBytes()
+		delete(c.entries, k)
+		c.evictions++
+	}
 }
 
 // Len implements Cache.
 func (c *MapCache) Len() int { return len(c.entries) }
+
+// Bytes implements Cache.
+func (c *MapCache) Bytes() int64 { return c.bytes }
 
 // Counters implements Cache.
 func (c *MapCache) Counters() (hits, misses, evictions int64) {
@@ -143,6 +211,13 @@ func (c *SyncCache) Len() int {
 	return c.inner.Len()
 }
 
+// Bytes implements Cache.
+func (c *SyncCache) Bytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.inner.Bytes()
+}
+
 // Counters implements Cache.
 func (c *SyncCache) Counters() (hits, misses, evictions int64) {
 	c.mu.Lock()
@@ -176,8 +251,16 @@ type shard struct {
 // (rounded up to a power of two; <= 0 selects the next power of two above
 // runtime.GOMAXPROCS). maxEntries bounds the total cached PLIs across all
 // shards (<= 0 selects DefaultCacheEntries); each shard is bounded to its
-// equal split of the total.
+// equal split of the total. No byte budget is applied.
 func NewShardedCache(shardCount, maxEntries int) *ShardedCache {
+	return NewShardedCacheBudget(shardCount, maxEntries, 0)
+}
+
+// NewShardedCacheBudget builds a ShardedCache whose entry bound and byte
+// budget are both split equally across the shards (maxBytes 0 = no byte
+// budget; < 0 selects DefaultCacheBytes). Shedding pressure therefore stays
+// local to hot shards, like entry eviction.
+func NewShardedCacheBudget(shardCount, maxEntries int, maxBytes int64) *ShardedCache {
 	if shardCount <= 0 {
 		shardCount = runtime.GOMAXPROCS(0)
 	}
@@ -188,13 +271,20 @@ func NewShardedCache(shardCount, maxEntries int) *ShardedCache {
 	if maxEntries <= 0 {
 		maxEntries = DefaultCacheEntries
 	}
+	if maxBytes < 0 {
+		maxBytes = DefaultCacheBytes
+	}
 	perShard := maxEntries / n
 	if perShard < 1 {
 		perShard = 1
 	}
+	perShardBytes := maxBytes / int64(n)
+	if maxBytes > 0 && perShardBytes < 1 {
+		perShardBytes = 1
+	}
 	c := &ShardedCache{shards: make([]shard, n), mask: uint64(n - 1)}
 	for i := range c.shards {
-		c.shards[i].inner = NewMapCache(perShard)
+		c.shards[i].inner = NewMapCacheBudget(perShard, perShardBytes)
 	}
 	return c
 }
@@ -229,6 +319,18 @@ func (c *ShardedCache) Len() int {
 		sh := &c.shards[i]
 		sh.mu.Lock()
 		total += sh.inner.Len()
+		sh.mu.Unlock()
+	}
+	return total
+}
+
+// Bytes implements Cache, summing the shard byte counts.
+func (c *ShardedCache) Bytes() int64 {
+	var total int64
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		total += sh.inner.Bytes()
 		sh.mu.Unlock()
 	}
 	return total

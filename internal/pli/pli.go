@@ -202,3 +202,14 @@ func (p *PLI) MemoryFootprint() int {
 	}
 	return n
 }
+
+// ApproxBytes estimates the heap bytes held by the PLI: 4 bytes per stored
+// row id, a slice header per cluster, and the struct itself. The memory
+// governor's byte budget accounts cached PLIs with this estimate.
+func (p *PLI) ApproxBytes() int64 {
+	const (
+		structOverhead = 48 // PLI struct + outer slice header
+		clusterHeader  = 24 // one slice header per cluster
+	)
+	return structOverhead + int64(len(p.clusters))*clusterHeader + 4*int64(p.MemoryFootprint())
+}

@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 
 	"holistic/internal/bitset"
+	"holistic/internal/faults"
 	"holistic/internal/parallel"
 	"holistic/internal/relation"
 )
@@ -99,16 +100,15 @@ func (p *Provider) Get(s bitset.Set) *PLI {
 	case 1:
 		return p.single[s.First()]
 	}
-	if pli, ok := p.cache.Get(s); ok {
+	if pli, ok := p.cacheGet(s); ok {
 		return pli
 	}
 	// Fast path: extend a cached direct subset by one column.
 	for c := s.First(); c >= 0; c = s.NextAfter(c) {
 		sub := s.Without(c)
 		if base, ok := p.lookup(sub); ok {
-			pli := base.IntersectColumn(p.rel.Column(c))
-			p.intersections.Add(1)
-			p.cache.Put(s, pli)
+			pli := p.intersectColumn(base, c)
+			p.cachePut(s, pli)
 			return pli
 		}
 	}
@@ -122,11 +122,39 @@ func (p *Provider) Get(s bitset.Set) *PLI {
 			pli = cached
 			continue
 		}
-		pli = pli.IntersectColumn(p.rel.Column(c))
-		p.intersections.Add(1)
-		p.cache.Put(prefix, pli)
+		pli = p.intersectColumn(pli, c)
+		p.cachePut(prefix, pli)
 	}
 	return pli
+}
+
+// intersectColumn performs one counted column intersection. The armed
+// faults.PLIIntersect point panics here (Get has no error channel); the
+// engine's panic isolation converts it into a failed job.
+func (p *Provider) intersectColumn(base *PLI, c int) *PLI {
+	faults.Check(faults.PLIIntersect)
+	out := base.IntersectColumn(p.rel.Column(c))
+	p.intersections.Add(1)
+	return out
+}
+
+// cacheGet probes the multi-column cache. Under an armed faults.CacheGet
+// point the cache degrades to "always miss": the Provider recomputes the
+// PLI, slower but correct.
+func (p *Provider) cacheGet(s bitset.Set) (*PLI, bool) {
+	if faults.Degraded(faults.CacheGet) {
+		return nil, false
+	}
+	return p.cache.Get(s)
+}
+
+// cachePut stores into the multi-column cache. Under an armed
+// faults.CachePut point the store is dropped: later probes recompute.
+func (p *Provider) cachePut(s bitset.Set, pli *PLI) {
+	if faults.Degraded(faults.CachePut) {
+		return
+	}
+	p.cache.Put(s, pli)
 }
 
 // IntersectionCount returns the number of column intersections performed so
@@ -140,7 +168,7 @@ func (p *Provider) lookup(s bitset.Set) (*PLI, bool) {
 	case 1:
 		return p.single[s.First()], true
 	}
-	return p.cache.Get(s)
+	return p.cacheGet(s)
 }
 
 // CachedEntries returns the number of multi-column PLIs currently cached.
@@ -156,6 +184,7 @@ func (p *Provider) CacheStats() CacheStats {
 		Misses:        misses,
 		Evictions:     evictions,
 		Entries:       p.cache.Len(),
+		Bytes:         p.cache.Bytes(),
 		Intersections: p.intersections.Load(),
 	}
 }

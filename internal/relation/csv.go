@@ -5,7 +5,16 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
+
+	"holistic/internal/faults"
 )
+
+// DefaultMaxFieldBytes bounds a single CSV field when CSVOptions.MaxFieldBytes
+// is zero. A field beyond this is almost certainly a malformed quote or a
+// binary blob, and rejecting it early keeps one pathological cell from
+// ballooning the dictionary encoding.
+const DefaultMaxFieldBytes = 1 << 20
 
 // CSVOptions controls CSV parsing.
 type CSVOptions struct {
@@ -16,23 +25,64 @@ type CSVOptions struct {
 	HasHeader bool
 	// MaxRows, if positive, stops reading after that many data rows.
 	MaxRows int
+	// MaxFieldBytes bounds a single field's size (0 selects
+	// DefaultMaxFieldBytes; negative disables the bound).
+	MaxFieldBytes int
 	// Relation carries the NULL-semantics options through to construction.
 	Relation Options
 }
 
-// ReadCSV parses a CSV stream into a Relation.
+// maxFieldBytes resolves MaxFieldBytes to the effective per-field bound
+// (0 = unbounded).
+func (o CSVOptions) maxFieldBytes() int {
+	switch {
+	case o.MaxFieldBytes < 0:
+		return 0
+	case o.MaxFieldBytes == 0:
+		return DefaultMaxFieldBytes
+	default:
+		return o.MaxFieldBytes
+	}
+}
+
+// validateRecord rejects fields that cannot be legitimate relational values:
+// NUL bytes (a NUL in CSV input means binary garbage, and downstream
+// consumers use NUL-separated row keys) and fields beyond the size bound.
+// where names the record in errors ("header" or "row N", 1-based).
+func validateRecord(name, where string, rec []string, maxField int) error {
+	for i, field := range rec {
+		if strings.IndexByte(field, 0) >= 0 {
+			return fmt.Errorf("read csv %q: %s column %d contains a NUL byte", name, where, i+1)
+		}
+		if maxField > 0 && len(field) > maxField {
+			return fmt.Errorf("read csv %q: %s column %d field is %d bytes (limit %d)", name, where, i+1, len(field), maxField)
+		}
+	}
+	return nil
+}
+
+// ReadCSV parses a CSV stream into a Relation. Beyond CSV well-formedness it
+// enforces relational hygiene with precise positions: rectangular rows, no
+// NUL bytes, bounded field sizes.
 func ReadCSV(name string, r io.Reader, opts CSVOptions) (*Relation, error) {
+	if err := faults.Inject(faults.ReaderIO); err != nil {
+		return nil, fmt.Errorf("read csv %q: %w", name, err)
+	}
 	cr := csv.NewReader(r)
 	if opts.Comma != 0 {
 		cr.Comma = opts.Comma
 	}
 	cr.FieldsPerRecord = -1 // validate ourselves for a better error message
+	maxField := opts.maxFieldBytes()
 
 	var header []string
 	if opts.HasHeader {
 		rec, err := cr.Read()
 		if err != nil {
 			return nil, fmt.Errorf("read csv %q header: %w", name, err)
+		}
+		if err := validateRecord(name, "header", rec, maxField); err != nil {
+			return nil, err
 		}
 		header = append(header, rec...)
 	}
@@ -48,6 +98,9 @@ func ReadCSV(name string, r io.Reader, opts CSVOptions) (*Relation, error) {
 		}
 		if err != nil {
 			return nil, fmt.Errorf("read csv %q: %w", name, err)
+		}
+		if err := validateRecord(name, fmt.Sprintf("row %d", len(rows)+1), rec, maxField); err != nil {
+			return nil, err
 		}
 		if header == nil {
 			header = make([]string, len(rec))

@@ -1,0 +1,70 @@
+package relation
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestReadCSVRejectsNUL verifies NUL bytes are rejected with the precise
+// row/column position, in data rows and in the header.
+func TestReadCSVRejectsNUL(t *testing.T) {
+	cases := []struct {
+		name  string
+		input string
+		want  string
+	}{
+		{"data row", "a,b\n1,2\n3,\x004\n", "row 2 column 2 contains a NUL byte"},
+		{"first row", "a,b\n\x001,2\n", "row 1 column 1 contains a NUL byte"},
+		{"header", "a,\x00b\n1,2\n", "header column 2 contains a NUL byte"},
+		{"quoted field", "a,b\n\"x\x00y\",2\n", "row 1 column 1 contains a NUL byte"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ReadCSV("t", strings.NewReader(tc.input), CSVOptions{HasHeader: true})
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("err = %v, want containing %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestReadCSVFieldSizeLimit verifies the per-field byte bound: default on,
+// configurable, disabled with a negative value, position-precise errors.
+func TestReadCSVFieldSizeLimit(t *testing.T) {
+	big := strings.Repeat("x", 100)
+
+	_, err := ReadCSV("t", strings.NewReader("a,b\n1,"+big+"\n"), CSVOptions{HasHeader: true, MaxFieldBytes: 64})
+	want := "row 1 column 2 field is 100 bytes (limit 64)"
+	if err == nil || !strings.Contains(err.Error(), want) {
+		t.Fatalf("err = %v, want containing %q", err, want)
+	}
+
+	_, err = ReadCSV("t", strings.NewReader(big+",b\n1,2\n"), CSVOptions{HasHeader: true, MaxFieldBytes: 64})
+	if err == nil || !strings.Contains(err.Error(), "header column 1") {
+		t.Fatalf("header err = %v, want header column 1 size error", err)
+	}
+
+	// Negative disables the bound entirely.
+	rel, err := ReadCSV("t", strings.NewReader("a,b\n1,"+big+"\n"), CSVOptions{HasHeader: true, MaxFieldBytes: -1})
+	if err != nil {
+		t.Fatalf("unbounded read failed: %v", err)
+	}
+	if rel.NumRows() != 1 {
+		t.Fatalf("rows = %d, want 1", rel.NumRows())
+	}
+
+	// The default bound admits ordinary fields.
+	if _, err := ReadCSV("t", strings.NewReader("a,b\n1,"+big+"\n"), CSVOptions{HasHeader: true}); err != nil {
+		t.Fatalf("default bound rejected a %d-byte field: %v", len(big), err)
+	}
+}
+
+// TestReadCSVRaggedRowPosition pins the pre-existing ragged-row error to its
+// precise row number alongside the new checks.
+func TestReadCSVRaggedRowPosition(t *testing.T) {
+	_, err := ReadCSV("t", strings.NewReader("a,b\n1,2\n3\n"), CSVOptions{HasHeader: true})
+	want := "row 2 has 1 fields, want 2"
+	if err == nil || !strings.Contains(err.Error(), want) {
+		t.Fatalf("err = %v, want containing %q", err, want)
+	}
+}

@@ -14,10 +14,29 @@ func FuzzReadCSV(f *testing.F) {
 	f.Add("", true)
 	f.Add("a,b\n\"x,y\",z\n", true)
 	f.Add("a\n\n", true)
+	// Malformed corpora: NUL bytes, ragged rows, unterminated quotes, bare
+	// quotes mid-field, oversized fields, NUL in the header.
+	f.Add("a,b\n1,\x002\n", true)
+	f.Add("a\x00b,c\n1,2\n", true)
+	f.Add("a,b\n1\n1,2,3\n", true)
+	f.Add("a,b\n\"unterminated,2\n", true)
+	f.Add("a,b\n1,x\"y\n", true)
+	f.Add("a,b\n"+strings.Repeat("x", 300)+",2\n", true)
+	f.Add("\xff\xfe,b\n1,2\n", true)
 	f.Fuzz(func(t *testing.T, input string, header bool) {
-		rel, err := ReadCSV("fuzz", strings.NewReader(input), CSVOptions{HasHeader: header, MaxRows: 64})
+		rel, err := ReadCSV("fuzz", strings.NewReader(input), CSVOptions{HasHeader: header, MaxRows: 64, MaxFieldBytes: 256})
 		if err != nil {
 			return
+		}
+		for i := 0; i < rel.NumRows(); i++ {
+			for _, v := range rel.Row(i) {
+				if strings.IndexByte(v, 0) >= 0 {
+					t.Fatalf("NUL byte survived into the relation: %q", v)
+				}
+				if len(v) > 256 {
+					t.Fatalf("oversized field survived into the relation: %d bytes", len(v))
+				}
+			}
 		}
 		n := rel.NumColumns()
 		if n == 0 {

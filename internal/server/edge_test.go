@@ -1,0 +1,148 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	"holistic/internal/core"
+)
+
+// TestDeleteRacingCompletion races DELETE against job completion: whatever
+// interleaving wins, the job must settle in exactly one terminal state, the
+// event log must close exactly once (the stream drains), and a completed
+// job must keep its result.
+func TestDeleteRacingCompletion(t *testing.T) {
+	registerBlockStrategy()
+	for i := 0; i < 20; i++ {
+		gate.reset()
+		_, ts := newTestServer(t, Config{Workers: 1})
+		started, release := gate.channels()
+
+		_, v := submit(t, ts, fmt.Sprintf(`{"csv": %q, "algorithm": "blocktest"}`, testCSV))
+		select {
+		case <-started:
+		case <-time.After(10 * time.Second):
+			t.Fatal("job never started")
+		}
+
+		var wg sync.WaitGroup
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			close(release) // completion path
+		}()
+		go func() {
+			defer wg.Done()
+			req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+v.ID, nil)
+			resp, err := http.DefaultClient.Do(req)
+			if err == nil {
+				resp.Body.Close()
+			}
+		}()
+		wg.Wait()
+
+		done := pollUntil(t, ts, v.ID, func(v JobView) bool { return terminal(v.State) })
+		if done.State != StateDone && done.State != StateCanceled {
+			t.Fatalf("iteration %d: state = %s, want done or canceled", i, done.State)
+		}
+		if done.State == StateDone && done.Result == nil {
+			t.Fatalf("iteration %d: done without a result", i)
+		}
+		// The event stream must drain to EOF (log closed exactly once) and
+		// end with exactly one terminal state event.
+		terminalEvents := 0
+		for _, e := range jobEvents(t, ts, v.ID) {
+			if e.Type == EventState && terminal(e.State) {
+				terminalEvents++
+			}
+		}
+		if terminalEvents != 1 {
+			t.Fatalf("iteration %d: %d terminal state events, want 1", i, terminalEvents)
+		}
+	}
+}
+
+// TestEventStreamReaderDisconnect verifies a subscriber vanishing mid-stream
+// does not wedge the job or the event log: the job still completes and a
+// fresh subscriber replays the full history.
+func TestEventStreamReaderDisconnect(t *testing.T) {
+	registerBlockStrategy()
+	gate.reset()
+	_, ts := newTestServer(t, Config{Workers: 1})
+	started, release := gate.channels()
+
+	_, v := submit(t, ts, fmt.Sprintf(`{"csv": %q, "algorithm": "blocktest"}`, testCSV))
+	<-started
+
+	// Subscribe while the job is running, read one event, then drop the
+	// connection by cancelling the request context.
+	ctx, cancel := context.WithCancel(context.Background())
+	req, _ := http.NewRequestWithContext(ctx, http.MethodGet, ts.URL+"/v1/jobs/"+v.ID+"/events", nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("subscribe: %v", err)
+	}
+	dec := json.NewDecoder(resp.Body)
+	var first JobEvent
+	if err := dec.Decode(&first); err != nil {
+		t.Fatalf("first event: %v", err)
+	}
+	cancel()
+	resp.Body.Close()
+
+	// The abandoned subscriber must not block completion.
+	close(release)
+	done := pollUntil(t, ts, v.ID, func(v JobView) bool { return terminal(v.State) })
+	if done.State != StateDone {
+		t.Fatalf("job = %s, want done", done.State)
+	}
+
+	// A fresh subscriber sees the full history from seq 0.
+	events := jobEvents(t, ts, v.ID)
+	if len(events) == 0 || events[0].Seq != 0 {
+		t.Fatalf("replay did not start at seq 0: %+v", events)
+	}
+	last := events[len(events)-1]
+	if last.Type != EventState || last.State != StateDone {
+		t.Fatalf("replay did not end in the done transition: %+v", last)
+	}
+}
+
+// TestResultCacheConcurrentEviction hammers a tiny result cache from many
+// goroutines (concurrent hits, inserts and LRU evictions) to prove the
+// locking holds under -race and the bound is respected throughout.
+func TestResultCacheConcurrentEviction(t *testing.T) {
+	c := newResultCache(2)
+	keys := make([]cacheKey, 8)
+	for i := range keys {
+		keys[i] = cacheKey{DatasetSHA256: strconv.Itoa(i), Algorithm: "muds"}
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				k := keys[(w+i)%len(keys)]
+				if report, ok := c.get(k); ok {
+					if report == nil || report.Dataset != k.DatasetSHA256 {
+						t.Errorf("cache returned a report for the wrong key")
+						return
+					}
+				} else {
+					c.put(k, &core.Report{Dataset: k.DatasetSHA256})
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if _, _, _, entries := c.counters(); entries > 2 {
+		t.Fatalf("cache holds %d entries, bound is 2", entries)
+	}
+}

@@ -8,19 +8,23 @@ import (
 	"holistic/internal/core"
 )
 
-// Job states. A job moves queued → running → {done, failed, canceled};
-// cache-served jobs jump straight from queued to done.
+// Job states. A job moves queued → running → {done, partial, failed,
+// canceled}; cache-served jobs jump straight from queued to done. Partial is
+// the 206-style outcome: the run stopped early (deadline, cancellation) but
+// the anytime result it accumulated — every dependency confirmed before the
+// stop — is attached and valid.
 const (
 	StateQueued   = "queued"
 	StateRunning  = "running"
 	StateDone     = "done"
+	StatePartial  = "partial"
 	StateFailed   = "failed"
 	StateCanceled = "canceled"
 )
 
 // terminal reports whether state is a final job state.
 func terminal(state string) bool {
-	return state == StateDone || state == StateFailed || state == StateCanceled
+	return state == StateDone || state == StatePartial || state == StateFailed || state == StateCanceled
 }
 
 // job is the server-side record of one profiling request. The mutex guards
@@ -103,10 +107,24 @@ type JobEvent struct {
 	// failure reason when that state is failed or canceled.
 	State string `json:"state,omitempty"`
 	Error string `json:"error,omitempty"`
+	// Attempt numbers a "retry" event: the upcoming attempt (the first run
+	// is attempt 0, the first retry is attempt 1).
+	Attempt int `json:"attempt,omitempty"`
+	// Stack carries the captured stack trace of a "panic" event, so a
+	// strategy panic is diagnosable from the job's event log alone.
+	Stack string `json:"stack,omitempty"`
 }
 
-// EventState is the JobEvent type of a job lifecycle transition.
-const EventState = "state"
+// JobEvent types emitted by the server itself (engine progress events keep
+// their core.Event types).
+const (
+	// EventState is the JobEvent type of a job lifecycle transition.
+	EventState = "state"
+	// EventRetry announces a bounded retry after a transient failure.
+	EventRetry = "retry"
+	// EventPanic records a recovered strategy panic, stack attached.
+	EventPanic = "panic"
+)
 
 // eventLog is an append-only, subscribable record of a job's events. Readers
 // follow a cursor into the slice and block on the condition variable until

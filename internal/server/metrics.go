@@ -11,8 +11,11 @@ import (
 type metrics struct {
 	jobsSubmitted     atomic.Int64
 	jobsDone          atomic.Int64
+	jobsPartial       atomic.Int64
 	jobsFailed        atomic.Int64
 	jobsCanceled      atomic.Int64
+	jobRetries        atomic.Int64
+	panics            atomic.Int64
 	rejectedQueueFull atomic.Int64
 	rejectedDraining  atomic.Int64
 	jobsRunning       atomic.Int64
@@ -27,10 +30,16 @@ func (s *Server) writeMetrics(w io.Writer) {
 		"Jobs accepted by POST /v1/jobs (including cache-served ones).", m.jobsSubmitted.Load())
 	writeMetric(w, "profiled_jobs_done_total", "counter",
 		"Jobs that finished successfully.", m.jobsDone.Load())
+	writeMetric(w, "profiled_jobs_partial_total", "counter",
+		"Jobs finished with a valid partial (anytime) result after hitting their deadline.", m.jobsPartial.Load())
 	writeMetric(w, "profiled_jobs_failed_total", "counter",
 		"Jobs that finished with an error (including per-job deadline hits).", m.jobsFailed.Load())
 	writeMetric(w, "profiled_jobs_canceled_total", "counter",
 		"Jobs canceled via DELETE or server shutdown.", m.jobsCanceled.Load())
+	writeMetric(w, "profiled_job_retries_total", "counter",
+		"Job re-runs triggered by transient failures.", m.jobRetries.Load())
+	writeMetric(w, "profiled_panics_total", "counter",
+		"Panics recovered from profiling runs (jobs failed, process survived).", m.panics.Load())
 	writeMetric(w, "profiled_jobs_rejected_queue_full_total", "counter",
 		"Submissions rejected with 429 because the queue was full.", m.rejectedQueueFull.Load())
 	writeMetric(w, "profiled_jobs_rejected_draining_total", "counter",
@@ -49,6 +58,12 @@ func (s *Server) writeMetrics(w io.Writer) {
 		"Jobs waiting in the admission queue.", int64(len(s.queue)))
 	writeMetric(w, "profiled_jobs_retained", "gauge",
 		"Job records currently retained for status queries.", int64(s.jobCount()))
+	degraded := int64(0)
+	if s.consecutivePanics.Load() >= int64(s.cfg.DegradedAfter) {
+		degraded = 1
+	}
+	writeMetric(w, "profiled_degraded", "gauge",
+		"1 while the panic watchdog reports the process degraded.", degraded)
 }
 
 func writeMetric(w io.Writer, name, kind, help string, v int64) {

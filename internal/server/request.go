@@ -35,12 +35,16 @@ type jobRequest struct {
 	MaxRows       int    `json:"max_rows,omitempty"`
 	DistinctNulls bool   `json:"distinct_nulls,omitempty"`
 
-	// Profiling options. Seed, Workers and CacheEntries do not change the
-	// discovered dependencies (the engine guarantees seed- and
-	// worker-independence), so they are excluded from the result-cache key.
-	Seed           int64   `json:"seed,omitempty"`
-	Workers        int     `json:"workers,omitempty"`
-	CacheEntries   int     `json:"cache_entries,omitempty"`
+	// Profiling options. Seed, Workers, CacheEntries and MaxCacheBytes do
+	// not change the discovered dependencies (the engine guarantees seed-,
+	// worker- and budget-independence), so they are excluded from the
+	// result-cache key.
+	Seed         int64 `json:"seed,omitempty"`
+	Workers      int   `json:"workers,omitempty"`
+	CacheEntries int   `json:"cache_entries,omitempty"`
+	// MaxCacheBytes budgets the job's PLI cache (0 = server default,
+	// -1 = unbudgeted); see core.Options.MaxCacheBytes.
+	MaxCacheBytes  int64   `json:"max_cache_bytes,omitempty"`
 	WithStats      bool    `json:"with_stats,omitempty"`
 	TimeoutSeconds float64 `json:"timeout_seconds,omitempty"`
 }
@@ -92,6 +96,9 @@ func (r *jobRequest) normalize(dataDir string) (cacheKey, *core.MemoSource, erro
 	}
 	if r.TimeoutSeconds < 0 {
 		return key, nil, badRequest("timeout_seconds must be >= 0")
+	}
+	if r.MaxCacheBytes < -1 {
+		return key, nil, badRequest("max_cache_bytes must be >= -1 (-1 disables the budget)")
 	}
 	hasHeader := true
 	if r.HasHeader != nil {
@@ -152,10 +159,11 @@ func (r *jobRequest) normalize(dataDir string) (cacheKey, *core.MemoSource, erro
 // options builds the engine options of the request.
 func (r *jobRequest) options() core.Options {
 	return core.Options{
-		Seed:         r.Seed,
-		Workers:      r.Workers,
-		CacheEntries: r.CacheEntries,
-		IND:          ind.Options{},
+		Seed:          r.Seed,
+		Workers:       r.Workers,
+		CacheEntries:  r.CacheEntries,
+		MaxCacheBytes: r.MaxCacheBytes,
+		IND:           ind.Options{},
 	}
 }
 

@@ -19,9 +19,11 @@ import (
 	"fmt"
 	"net/http"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"holistic/internal/core"
+	"holistic/internal/faults"
 )
 
 // Config tunes a Server. The zero value selects sensible defaults
@@ -51,6 +53,21 @@ type Config struct {
 	// queries; the oldest finished jobs are dropped first (<= 0 selects
 	// 1024).
 	MaxRetainedJobs int
+	// MaxCacheBytes is the default PLI-cache byte budget applied to jobs
+	// that do not set max_cache_bytes themselves (0 = engine default,
+	// < 0 = unbudgeted).
+	MaxCacheBytes int64
+	// RetryAttempts bounds how often a job failing on a transient error is
+	// re-run on its worker slot before it is finished as failed (0 selects
+	// 2; negative disables retries).
+	RetryAttempts int
+	// RetryBackoff is the sleep before the first retry, doubled per attempt
+	// (<= 0 selects 50ms).
+	RetryBackoff time.Duration
+	// DegradedAfter is the watchdog threshold: after this many consecutive
+	// jobs failing on recovered panics, /healthz reports degraded until a
+	// job completes cleanly again (<= 0 selects 3).
+	DegradedAfter int
 	// Logf, when non-nil, receives one line per job transition.
 	Logf func(format string, args ...any)
 }
@@ -73,6 +90,18 @@ func (c *Config) applyDefaults() {
 	}
 	if c.MaxRetainedJobs <= 0 {
 		c.MaxRetainedJobs = 1024
+	}
+	if c.RetryAttempts == 0 {
+		c.RetryAttempts = 2
+	}
+	if c.RetryAttempts < 0 {
+		c.RetryAttempts = 0
+	}
+	if c.RetryBackoff <= 0 {
+		c.RetryBackoff = 50 * time.Millisecond
+	}
+	if c.DegradedAfter <= 0 {
+		c.DegradedAfter = 3
 	}
 }
 
@@ -97,6 +126,11 @@ type Server struct {
 	jobs     map[string]*job
 	order    []string // submission order, for retention eviction
 	nextID   int64
+
+	// consecutivePanics drives the health watchdog: incremented when a job
+	// fails on a recovered panic, reset when one completes cleanly. At
+	// cfg.DegradedAfter, /healthz flips to degraded.
+	consecutivePanics atomic.Int64
 
 	shutdownOnce sync.Once
 }
@@ -188,8 +222,23 @@ func (s *Server) Shutdown(ctx context.Context) error {
 
 // --- job lifecycle ---
 
-// runJob executes one queued job on a worker goroutine.
+// runJob executes one queued job on a worker goroutine. Failure containment
+// happens here: strategy panics come back from the engine as *core.PanicError
+// (the worker pool and the daemon survive), transient errors are retried with
+// backoff on the same worker slot, and a run stopped by its deadline finishes
+// as partial with the anytime result it accumulated instead of discarding it.
 func (s *Server) runJob(j *job) {
+	// Defense in depth: the engine already converts profiling panics into
+	// errors, but a panic in the server's own post-processing (report
+	// building, cache insertion) must not kill the worker goroutine either.
+	defer func() {
+		if r := recover(); r != nil {
+			s.metrics.panics.Add(1)
+			s.consecutivePanics.Add(1)
+			s.finish(j, StateFailed, fmt.Sprintf("internal panic: %v", r), nil)
+		}
+	}()
+
 	j.mu.Lock()
 	if j.state != StateQueued { // canceled while waiting
 		j.mu.Unlock()
@@ -213,20 +262,78 @@ func (s *Server) runJob(j *job) {
 	obs := core.EventObserver{Sink: func(e core.Event) {
 		j.events.append(JobEvent{Event: e})
 	}}
-	res, err := core.RunContext(ctx, j.req.Algorithm, j.src, j.req.options(), obs)
+	opts := j.req.options()
+	if opts.MaxCacheBytes == 0 {
+		opts.MaxCacheBytes = s.cfg.MaxCacheBytes
+	}
+
+	var res *core.Result
+	var err error
+	for attempt := 0; ; attempt++ {
+		res, err = core.RunContext(ctx, j.req.Algorithm, j.src, opts, obs)
+		if err == nil || attempt >= s.cfg.RetryAttempts || !isTransient(err) || ctx.Err() != nil {
+			break
+		}
+		s.metrics.jobRetries.Add(1)
+		j.events.append(JobEvent{Event: core.Event{Type: EventRetry}, Attempt: attempt + 1, Error: err.Error()})
+		s.logf("job %s transient failure (attempt %d/%d): %v", j.id, attempt+1, s.cfg.RetryAttempts, err)
+		select {
+		case <-time.After(s.cfg.RetryBackoff << attempt):
+		case <-ctx.Done():
+		}
+	}
+
+	// A recovered panic is surfaced in the event log with its stack and
+	// feeds the health watchdog; clean completion resets the watchdog.
+	var pe *core.PanicError
+	if errors.As(err, &pe) {
+		s.metrics.panics.Add(1)
+		s.consecutivePanics.Add(1)
+		j.events.append(JobEvent{Event: core.Event{Type: EventPanic}, Error: pe.Error(), Stack: pe.Stack})
+	}
 
 	switch {
 	case err == nil:
+		s.consecutivePanics.Store(0)
 		report := core.NewReport(j.src.Relation(), res, j.req.WithStats)
 		s.cache.put(j.key, report)
 		s.finish(j, StateDone, "", report)
 	case errors.Is(err, context.Canceled):
 		s.finish(j, StateCanceled, "canceled", nil)
 	case errors.Is(err, context.DeadlineExceeded):
-		s.finish(j, StateFailed, fmt.Sprintf("job deadline (%v) exceeded", j.timeout), nil)
+		msg := fmt.Sprintf("job deadline (%v) exceeded", j.timeout)
+		if report, ok := partialReport(j, res); ok {
+			s.finish(j, StatePartial, msg, report)
+			return
+		}
+		s.finish(j, StateFailed, msg, nil)
 	default:
 		s.finish(j, StateFailed, err.Error(), nil)
 	}
+}
+
+// partialReport renders the anytime result of an interrupted run, provided it
+// actually contains findings — every dependency confirmed before the stop is
+// valid (minimality is only guaranteed per confirmed dependency). A run that
+// was cut before producing anything stays a plain failure. Partial reports
+// never enter the content-addressed result cache: the same submission must
+// re-profile, not replay an incomplete answer.
+func partialReport(j *job, res *core.Result) (*core.Report, bool) {
+	if res == nil || !res.Partial {
+		return nil, false
+	}
+	if len(res.INDs)+len(res.UCCs)+len(res.FDs) == 0 {
+		return nil, false
+	}
+	return core.NewReport(j.src.Relation(), res, j.req.WithStats), true
+}
+
+// isTransient reports whether err is marked retryable anywhere in its chain
+// (e.g. an injected transient fault, or an I/O layer flagging a temporary
+// condition).
+func isTransient(err error) bool {
+	var t interface{ Transient() bool }
+	return errors.As(err, &t) && t.Transient()
 }
 
 // finish moves j (owned by the calling worker, state running) to a terminal
@@ -249,6 +356,8 @@ func (s *Server) announce(j *job, state, errMsg string) {
 	switch state {
 	case StateDone:
 		s.metrics.jobsDone.Add(1)
+	case StatePartial:
+		s.metrics.jobsPartial.Add(1)
 	case StateFailed:
 		s.metrics.jobsFailed.Add(1)
 	case StateCanceled:
@@ -345,6 +454,14 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	// Injected admission fault: proves a failing enqueue path surfaces as a
+	// structured 503 with a retry hint, not a dead daemon or a hung client.
+	if err := faults.Inject(faults.ServerEnqueue); err != nil {
+		s.logf("submit rejected (injected fault): %v", err)
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusServiceUnavailable, apiError{Error: "admission unavailable: " + err.Error()})
+		return
+	}
 	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
 	var req jobRequest
 	dec := json.NewDecoder(r.Body)
@@ -352,23 +469,37 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if err := dec.Decode(&req); err != nil {
 		var tooLarge *http.MaxBytesError
 		if errors.As(err, &tooLarge) {
+			s.logf("submit rejected (413): %v", err)
 			writeJSON(w, http.StatusRequestEntityTooLarge, apiError{Error: err.Error()})
 			return
 		}
+		// Unknown fields land here too (DisallowUnknownFields); logging the
+		// reason makes a typoed option debuggable server-side.
+		s.logf("submit rejected (400): invalid request body: %v", err)
 		writeJSON(w, http.StatusBadRequest, apiError{Error: "invalid request body: " + err.Error()})
 		return
 	}
 	key, src, err := req.normalize(s.cfg.DataDir)
 	if err != nil {
+		s.logf("submit rejected (400): %v", err)
 		writeJSON(w, http.StatusBadRequest, apiError{Error: err.Error()})
 		return
 	}
 	timeout := s.cfg.DefaultTimeout
 	if req.TimeoutSeconds > 0 {
 		timeout = time.Duration(req.TimeoutSeconds * float64(time.Second))
+		if s.cfg.MaxTimeout > 0 && timeout > s.cfg.MaxTimeout {
+			// An explicitly requested out-of-range deadline is a client error,
+			// not something to silently clamp.
+			s.logf("submit rejected (400): timeout_seconds %g exceeds maximum %v", req.TimeoutSeconds, s.cfg.MaxTimeout)
+			writeJSON(w, http.StatusBadRequest, apiError{
+				Error: fmt.Sprintf("timeout_seconds must be <= %g", s.cfg.MaxTimeout.Seconds()),
+			})
+			return
+		}
 	}
 	if s.cfg.MaxTimeout > 0 && (timeout <= 0 || timeout > s.cfg.MaxTimeout) {
-		timeout = s.cfg.MaxTimeout
+		timeout = s.cfg.MaxTimeout // server default clamped, never rejected
 	}
 
 	j := &job{
@@ -430,6 +561,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	default:
 		s.mu.Unlock()
 		s.metrics.rejectedQueueFull.Add(1)
+		w.Header().Set("Retry-After", "1")
 		writeJSON(w, http.StatusTooManyRequests, apiError{
 			Error: fmt.Sprintf("job queue is full (%d waiting); retry later", s.cfg.QueueDepth),
 		})
@@ -528,6 +660,16 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	s.mu.Unlock()
 	if draining {
 		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	// Watchdog: repeated consecutive panic-failures mark the process
+	// degraded (it keeps serving — panics are isolated per job — but an
+	// operator should look). One clean job completion clears it.
+	if n := s.consecutivePanics.Load(); n >= int64(s.cfg.DegradedAfter) {
+		writeJSON(w, http.StatusOK, map[string]string{
+			"status": "degraded",
+			"reason": fmt.Sprintf("%d consecutive jobs failed on recovered panics", n),
+		})
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})

@@ -25,7 +25,16 @@ go test -race ./...
 echo "== worker-count equivalence (workers=1 vs N) =="
 go test -race -count=1 -run 'TestWorkerCountEquivalence|TestParallelMudsCancellation' ./internal/core/
 
+echo "== CSV fuzz smoke =="
+go test -run='^$' -fuzz='^FuzzReadCSV$' -fuzztime=10s ./internal/relation/
+
+echo "== chaos suite (fault injection, race) =="
+go test -race -count=1 -run 'TestChaos|TestJobDeadlinePartialResult' ./internal/server/
+
 echo "== profiled service smoke test =="
 ./scripts/smoke_profiled.sh
+
+echo "== profiled chaos test =="
+./scripts/chaos_profiled.sh
 
 echo "verify.sh: all checks passed"

@@ -3,8 +3,8 @@
 //
 // Usage:
 //
-//	experiments [-fig6] [-fig7] [-table3] [-fig8] [-sweep] [-parallel] [-all]
-//	            [-scale f] [-full] [-seed n]
+//	experiments [-fig6] [-fig7] [-table3] [-fig8] [-sweep] [-parallel] [-pli]
+//	            [-all] [-scale f] [-full] [-seed n]
 //
 // By default every experiment runs at a reduced scale that finishes in a few
 // minutes; -full selects the paper-scale parameters (expect long runtimes,
@@ -28,12 +28,14 @@ func main() {
 		sweep   = flag.Bool("sweep", false, "dataset-property ablation (Section 6.5)")
 		par     = flag.Bool("parallel", false, "worker-pool scaling benchmark (writes BENCH_parallel.json)")
 		parJSON = flag.String("parallel-json", "BENCH_parallel.json", "output path of the -parallel measurements (empty = no file)")
+		pliB    = flag.Bool("pli", false, "PLI intersection micro-benchmark (writes BENCH_pli.json)")
+		pliJSON = flag.String("pli-json", "BENCH_pli.json", "output path of the -pli measurements (empty = no file)")
 		all     = flag.Bool("all", false, "run every experiment")
 		full    = flag.Bool("full", false, "paper-scale parameters (slow)")
 		seed    = flag.Int64("seed", 1, "random-walk seed")
 	)
 	flag.Parse()
-	if !(*fig6 || *fig7 || *table3 || *fig8 || *sweep || *par || *all) {
+	if !(*fig6 || *fig7 || *table3 || *fig8 || *sweep || *par || *pliB || *all) {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -92,6 +94,11 @@ func main() {
 	}
 	if *all || *par {
 		_, err := experiments.ParallelBench(w, *parJSON, nil, *seed)
+		fail(err)
+		fmt.Fprintln(w)
+	}
+	if *all || *pliB {
+		_, err := experiments.PLIBench(w, *pliJSON)
 		fail(err)
 		fmt.Fprintln(w)
 	}

@@ -33,7 +33,10 @@ func (f ApproxFD) String() string {
 }
 
 // G3 computes the g3 error of lhs → rhs: the fraction of rows outside the
-// per-cluster majority classes of rhs within lhs's partition.
+// per-cluster majority classes of rhs within lhs's partition. Majority
+// counting uses a dense per-code arena (the rhs dictionary bounds the code
+// range) with a touched list for O(cluster) resets — the same map-free
+// grouping discipline as the flat PLI intersections.
 func G3(p *pli.Provider, lhs bitset.Set, rhs int) float64 {
 	rel := p.Relation()
 	if rel.NumRows() == 0 || lhs.Has(rhs) {
@@ -41,22 +44,26 @@ func G3(p *pli.Provider, lhs bitset.Set, rhs int) float64 {
 	}
 	col := rel.Column(rhs)
 	violations := 0
-	counts := make(map[int32]int)
-	for _, cluster := range p.Get(lhs).Clusters() {
+	counts := make([]int32, rel.Cardinality(rhs))
+	var touched []int32
+	p.Get(lhs).ForEachCluster(func(cluster []int32) {
+		best := int32(0)
 		for _, row := range cluster {
-			counts[col[row]]++
-		}
-		best := 0
-		for _, n := range counts {
-			if n > best {
-				best = n
+			code := col[row]
+			if counts[code] == 0 {
+				touched = append(touched, code)
+			}
+			counts[code]++
+			if counts[code] > best {
+				best = counts[code]
 			}
 		}
-		violations += len(cluster) - best
-		for k := range counts {
-			delete(counts, k)
+		violations += len(cluster) - int(best)
+		for _, code := range touched {
+			counts[code] = 0
 		}
-	}
+		touched = touched[:0]
+	})
 	return float64(violations) / float64(rel.NumRows())
 }
 

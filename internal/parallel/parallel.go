@@ -86,6 +86,19 @@ func Workers(n int) int {
 // goroutine, in index order, with the same per-task cancellation check; the
 // sequential and parallel paths are therefore observationally identical.
 func For(ctx context.Context, workers, n int, fn func(i int)) error {
+	return ForWorker(ctx, workers, n, func(_, i int) { fn(i) })
+}
+
+// ForWorker is For with the worker slot exposed: fn(worker, i) receives the
+// index of the pool goroutine running task i, with worker in [0, workers).
+// A slot is never run by two goroutines at once (each pool goroutine owns
+// exactly one slot for the whole call; the sequential path uses slot 0), so
+// callers may own one reusable scratch arena per slot — e.g. a pli.Scratch
+// for map-free PLI intersections — and index it by the worker argument
+// without any locking. Which tasks land on which slot depends on scheduling;
+// only the slot's exclusivity is guaranteed, so per-slot state must not
+// influence task results.
+func ForWorker(ctx context.Context, workers, n int, fn func(worker, i int)) error {
 	if n <= 0 {
 		return ctx.Err()
 	}
@@ -103,7 +116,7 @@ func For(ctx context.Context, workers, n int, fn func(i int)) error {
 			if err := ctx.Err(); err != nil {
 				return err
 			}
-			fn(i)
+			fn(0, i)
 		}
 		return nil
 	}
@@ -115,7 +128,7 @@ func For(ctx context.Context, workers, n int, fn func(i int)) error {
 		once    sync.Once
 		caught  *TaskPanic
 	)
-	runTask := func(i int) {
+	runTask := func(worker, i int) {
 		defer func() {
 			if r := recover(); r != nil {
 				once.Do(func() {
@@ -124,11 +137,11 @@ func For(ctx context.Context, workers, n int, fn func(i int)) error {
 				aborted.Store(true)
 			}
 		}()
-		fn(i)
+		fn(worker, i)
 	}
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
-		go func() {
+		go func(worker int) {
 			defer wg.Done()
 			for {
 				if aborted.Load() || ctx.Err() != nil {
@@ -138,9 +151,9 @@ func For(ctx context.Context, workers, n int, fn func(i int)) error {
 				if i >= n {
 					return
 				}
-				runTask(i)
+				runTask(worker, i)
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 	if caught != nil {

@@ -106,3 +106,52 @@ func TestForDeadline(t *testing.T) {
 		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
 	}
 }
+
+// TestForWorkerSlotExclusivity checks the contract scratch-arena owners rely
+// on: every task sees a worker id in [0, workers), all tasks run exactly
+// once, and no two tasks ever run on the same slot concurrently (asserted
+// with a per-slot entry counter that must never exceed one).
+func TestForWorkerSlotExclusivity(t *testing.T) {
+	const workers, n = 7, 500
+	inSlot := make([]atomic.Int32, workers)
+	ran := make([]atomic.Int32, n)
+	err := ForWorker(context.Background(), workers, n, func(w, i int) {
+		if w < 0 || w >= workers {
+			t.Errorf("task %d: worker id %d outside [0, %d)", i, w, workers)
+			return
+		}
+		if inSlot[w].Add(1) != 1 {
+			t.Errorf("slot %d entered concurrently", w)
+		}
+		ran[i].Add(1)
+		inSlot[w].Add(-1)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ran {
+		if got := ran[i].Load(); got != 1 {
+			t.Fatalf("task %d ran %d times, want 1", i, got)
+		}
+	}
+}
+
+// TestForWorkerSequentialUsesSlotZero pins the inline path: with one worker
+// every task runs on slot 0, in index order.
+func TestForWorkerSequentialUsesSlotZero(t *testing.T) {
+	var order []int
+	err := ForWorker(context.Background(), 1, 5, func(w, i int) {
+		if w != 0 {
+			t.Errorf("task %d: worker id %d, want 0", i, w)
+		}
+		order = append(order, i)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, got := range order {
+		if got != i {
+			t.Fatalf("inline order = %v, want ascending", order)
+		}
+	}
+}

@@ -7,21 +7,46 @@ import (
 )
 
 // TestApproxBytesModel pins the byte-accounting model the memory governor
-// budgets against: struct overhead, one slice header per cluster, four bytes
-// per stored row id.
+// budgets against: 96 bytes of struct overhead, four bytes per stored row id
+// and per offset entry, plus — once materialised — four bytes per relation
+// row for the cached attribute vector. For the flat layout this is exact up
+// to the struct constant.
 func TestApproxBytesModel(t *testing.T) {
-	// One cluster of 10 rows: 48 + 24 + 4*10.
-	if got := FromAllRows(10).ApproxBytes(); got != 112 {
-		t.Errorf("FromAllRows(10).ApproxBytes() = %d, want 112", got)
+	// One cluster of 10 rows: 96 + 4*(10 rows + 2 offsets).
+	if got := FromAllRows(10).ApproxBytes(); got != 144 {
+		t.Errorf("FromAllRows(10).ApproxBytes() = %d, want 144", got)
 	}
-	// Single-row relations strip to zero clusters.
-	if got := FromAllRows(1).ApproxBytes(); got != 48 {
-		t.Errorf("FromAllRows(1).ApproxBytes() = %d, want 48", got)
+	// Single-row relations strip to zero clusters: struct overhead only.
+	if got := FromAllRows(1).ApproxBytes(); got != 96 {
+		t.Errorf("FromAllRows(1).ApproxBytes() = %d, want 96", got)
 	}
-	// Two clusters of 3: 48 + 2*24 + 4*6.
+	// Two clusters of 3: 96 + 4*(6 rows + 3 offsets).
 	p := FromColumn([]int32{0, 1, 0, 1, 0, 1}, 2)
-	if got := p.ApproxBytes(); got != 120 {
-		t.Errorf("two-cluster ApproxBytes() = %d, want 120", got)
+	if got := p.ApproxBytes(); got != 132 {
+		t.Errorf("two-cluster ApproxBytes() = %d, want 132", got)
+	}
+	// Materialising the attribute vector folds it into the accounting:
+	// + 4*6 rows.
+	p.ProbeVector()
+	if got := p.ApproxBytes(); got != 156 {
+		t.Errorf("ApproxBytes() with probe = %d, want 156", got)
+	}
+}
+
+// TestCacheLedgerStableAcrossProbeMaterialization pins the snapshot-at-Put
+// semantics: a PLI whose attribute vector materialises after it was cached
+// must not corrupt the byte ledger when it is later replaced or shed —
+// evictions subtract exactly what Put added.
+func TestCacheLedgerStableAcrossProbeMaterialization(t *testing.T) {
+	c := NewMapCacheBudget(64, 1<<20)
+	s := bitset.New(0, 1)
+	p := FromAllRows(10)
+	c.Put(s, p)
+	accounted := c.Bytes()
+	p.ProbeVector() // grows ApproxBytes after the Put snapshot
+	c.Put(s, FromAllRows(10))
+	if got := c.Bytes(); got != accounted {
+		t.Errorf("Bytes() after replace = %d, want %d (ledger drifted)", got, accounted)
 	}
 }
 
@@ -30,7 +55,7 @@ func TestApproxBytesModel(t *testing.T) {
 // budget after a Put, shed entries are counted as evictions, and the most
 // recent store is retained.
 func TestMapCacheBudgetSheds(t *testing.T) {
-	// Each FromAllRows(10) PLI costs 112 bytes; a 300-byte budget holds two.
+	// Each FromAllRows(10) PLI costs 144 bytes; a 300-byte budget holds two.
 	c := NewMapCacheBudget(64, 300)
 	for i := 0; i < 5; i++ {
 		s := bitset.New(i, i+1)
@@ -56,7 +81,7 @@ func TestMapCacheBudgetSheds(t *testing.T) {
 func TestMapCacheOversizePLINeverCached(t *testing.T) {
 	c := NewMapCacheBudget(64, 200)
 	small := bitset.New(0, 1)
-	c.Put(small, FromAllRows(10)) // 112 bytes, fits
+	c.Put(small, FromAllRows(10)) // 144 bytes, fits
 	c.Put(bitset.New(2, 3), FromAllRows(1000))
 	if c.Len() != 1 {
 		t.Fatalf("Len = %d, want 1 (oversize PLI must be refused)", c.Len())
@@ -74,10 +99,10 @@ func TestMapCacheOversizePLINeverCached(t *testing.T) {
 func TestMapCacheBudgetReplaceAccounting(t *testing.T) {
 	c := NewMapCacheBudget(64, 1<<20)
 	s := bitset.New(0, 1)
-	c.Put(s, FromAllRows(10)) // 112
-	c.Put(s, FromAllRows(20)) // 152
-	if got := c.Bytes(); got != 152 {
-		t.Errorf("Bytes() after replace = %d, want 152", got)
+	c.Put(s, FromAllRows(10)) // 144
+	c.Put(s, FromAllRows(20)) // 184
+	if got := c.Bytes(); got != 184 {
+		t.Errorf("Bytes() after replace = %d, want 184", got)
 	}
 	if c.Len() != 1 {
 		t.Errorf("Len = %d, want 1 after replacing the same key", c.Len())
@@ -133,7 +158,7 @@ func TestSyncCacheBytesDelegates(t *testing.T) {
 	inner := NewMapCacheBudget(16, 1<<20)
 	c := NewSyncCache(inner)
 	c.Put(bitset.New(0, 1), FromAllRows(10))
-	if got := c.Bytes(); got != inner.Bytes() || got != 112 {
-		t.Errorf("SyncCache.Bytes() = %d, want 112", got)
+	if got := c.Bytes(); got != inner.Bytes() || got != 144 {
+		t.Errorf("SyncCache.Bytes() = %d, want 144", got)
 	}
 }

@@ -67,12 +67,21 @@ type CacheStats struct {
 // time for bounded memory. It is not safe for concurrent use; wrap it in a
 // SyncCache to share a Provider across goroutines.
 type MapCache struct {
-	entries    map[bitset.Set]*PLI
+	entries    map[bitset.Set]cacheEntry
 	maxEntries int
 	maxBytes   int64 // 0 = no byte budget
 	bytes      int64
 
 	hits, misses, evictions int64
+}
+
+// cacheEntry pins the byte size accounted at Put time next to the PLI. A
+// PLI's ApproxBytes can grow later (the probe vector materialises lazily),
+// so evictions must subtract exactly what Put added — the pinned size —
+// or the ledger would drift.
+type cacheEntry struct {
+	pli   *PLI
+	bytes int64
 }
 
 // NewMapCache builds a MapCache bounded to maxEntries cached PLIs with no
@@ -92,7 +101,7 @@ func NewMapCacheBudget(maxEntries int, maxBytes int64) *MapCache {
 		maxBytes = DefaultCacheBytes
 	}
 	return &MapCache{
-		entries:    make(map[bitset.Set]*PLI),
+		entries:    make(map[bitset.Set]cacheEntry),
 		maxEntries: maxEntries,
 		maxBytes:   maxBytes,
 	}
@@ -100,22 +109,23 @@ func NewMapCacheBudget(maxEntries int, maxBytes int64) *MapCache {
 
 // Get implements Cache.
 func (c *MapCache) Get(s bitset.Set) (*PLI, bool) {
-	pli, ok := c.entries[s]
+	e, ok := c.entries[s]
 	if ok {
 		c.hits++
 	} else {
 		c.misses++
 	}
-	return pli, ok
+	return e.pli, ok
 }
 
 // Put implements Cache, evicting roughly half the entries when the entry
-// bound is hit and shedding entries when the byte budget is exceeded.
+// bound is hit and shedding entries when the byte budget is exceeded. The
+// stored PLI's size is snapshotted here (see cacheEntry).
 func (c *MapCache) Put(s bitset.Set, pli *PLI) {
 	sz := pli.ApproxBytes()
 	if old, ok := c.entries[s]; ok {
-		c.bytes += sz - old.ApproxBytes()
-		c.entries[s] = pli
+		c.bytes += sz - old.bytes
+		c.entries[s] = cacheEntry{pli: pli, bytes: sz}
 		c.shedOver(s)
 		return
 	}
@@ -131,13 +141,13 @@ func (c *MapCache) Put(s bitset.Set, pli *PLI) {
 			if drop == 0 {
 				break
 			}
-			c.bytes -= v.ApproxBytes()
+			c.bytes -= v.bytes
 			delete(c.entries, k)
 			c.evictions++
 			drop--
 		}
 	}
-	c.entries[s] = pli
+	c.entries[s] = cacheEntry{pli: pli, bytes: sz}
 	c.bytes += sz
 	c.shedOver(s)
 }
@@ -156,7 +166,7 @@ func (c *MapCache) shedOver(keep bitset.Set) {
 		if k == keep {
 			continue
 		}
-		c.bytes -= v.ApproxBytes()
+		c.bytes -= v.bytes
 		delete(c.entries, k)
 		c.evictions++
 	}

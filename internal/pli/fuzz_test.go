@@ -1,0 +1,104 @@
+package pli
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+)
+
+// fuzzRelation decodes a fuzz payload into a small dictionary-encoded
+// relation: byte 0 picks the column count (1..4), byte 1 the cardinality
+// (1..8), and the remaining bytes fill the columns row-major. Every payload
+// decodes to something valid, so the fuzzer never wastes executions.
+func fuzzRelation(data []byte) (cols [][]int32, card int) {
+	if len(data) < 2 {
+		data = append(data, 0, 0)
+	}
+	nCols := 1 + int(data[0])%4
+	card = 1 + int(data[1])%8
+	body := data[2:]
+	nRows := len(body) / nCols
+	if nRows > 256 {
+		nRows = 256
+	}
+	cols = make([][]int32, nCols)
+	for c := range cols {
+		col := make([]int32, nRows)
+		for r := range col {
+			col[r] = int32(body[r*nCols+c]) % int32(card)
+		}
+		cols[c] = col
+	}
+	return cols, card
+}
+
+// canonRef converts a reference PLI into the canonical form shared with
+// canon (sorted clusters of sorted rows).
+func canonRef(p *ReferencePLI) [][]int32 {
+	if len(p.clusters) == 0 {
+		return nil
+	}
+	out := make([][]int32, 0, len(p.clusters))
+	for _, c := range p.clusters {
+		cc := append([]int32(nil), c...)
+		sort.Slice(cc, func(i, j int) bool { return cc[i] < cc[j] })
+		out = append(out, cc)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i][0] < out[j][0] })
+	return out
+}
+
+// FuzzPLIEquivalence differentially fuzzes the flat PLI against the
+// reference oracle: FromColumn, Intersect (both operand orders),
+// IntersectColumn, Refines, RefinesEach, ErrorSum and DistinctCount must
+// agree on arbitrary relations. This is the safety net under the layout
+// refactor — any grouping, probe-caching or scratch-reset bug surfaces as a
+// divergence from the pre-flat implementation.
+func FuzzPLIEquivalence(f *testing.F) {
+	f.Add([]byte{2, 3, 0, 1, 1, 0, 2, 2, 0, 1, 1, 0})
+	f.Add([]byte{0, 0})
+	f.Add([]byte{3, 1, 9, 9, 9, 9, 9, 9})       // cardinality 1: one big cluster
+	f.Add([]byte{1, 7, 0, 1, 2, 3, 4, 5, 6, 0}) // near-unique column
+	f.Fuzz(func(t *testing.T, data []byte) {
+		cols, card := fuzzRelation(data)
+
+		flat := make([]*PLI, len(cols))
+		ref := make([]*ReferencePLI, len(cols))
+		for c := range cols {
+			flat[c] = FromColumn(cols[c], card)
+			ref[c] = RefFromColumn(cols[c], card)
+			if !reflect.DeepEqual(canon(flat[c]), canonRef(ref[c])) {
+				t.Fatalf("FromColumn(col %d) diverges: flat %v, ref %v", c, canon(flat[c]), canonRef(ref[c]))
+			}
+			if flat[c].ErrorSum() != ref[c].ErrorSum() || flat[c].DistinctCount() != ref[c].DistinctCount() {
+				t.Fatalf("col %d: ErrorSum/DistinctCount diverge (%d/%d vs %d/%d)",
+					c, flat[c].ErrorSum(), flat[c].DistinctCount(), ref[c].ErrorSum(), ref[c].DistinctCount())
+			}
+		}
+
+		for a := range cols {
+			for b := range cols {
+				fi := flat[a].Intersect(flat[b])
+				ri := ref[a].Intersect(ref[b])
+				if !reflect.DeepEqual(canon(fi), canonRef(ri)) {
+					t.Fatalf("Intersect(%d,%d) diverges: flat %v, ref %v", a, b, canon(fi), canonRef(ri))
+				}
+				fc := flat[a].IntersectColumn(cols[b], card)
+				rc := ref[a].IntersectColumn(cols[b])
+				if !reflect.DeepEqual(canon(fc), canonRef(rc)) {
+					t.Fatalf("IntersectColumn(%d,%d) diverges: flat %v, ref %v", a, b, canon(fc), canonRef(rc))
+				}
+				if flat[a].Refines(cols[b]) != ref[a].Refines(cols[b]) {
+					t.Fatalf("Refines(%d,%d) diverges", a, b)
+				}
+			}
+			// RefinesEach across all columns, with one slot nil-skipped.
+			cands := make([][]int32, len(cols))
+			copy(cands, cols)
+			cands[len(cands)-1] = nil
+			if got, want := flat[a].RefinesEach(cands), ref[a].RefinesEach(cands); !reflect.DeepEqual(got, want) {
+				t.Fatalf("RefinesEach(%d) diverges: flat %v, ref %v", a, got, want)
+			}
+		}
+	})
+}

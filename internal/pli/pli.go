@@ -7,29 +7,98 @@
 // empty PLI therefore means X is a unique column combination, and the FD
 // X → A holds iff every cluster of X's PLI is value-constant in column A
 // (partition refinement, Lemma 1).
+//
+// # Memory layout
+//
+// A PLI stores its clusters in a flat layout: one backing row array holding
+// every cluster member back to back, plus a cluster-offset index — cluster i
+// spans rows[offsets[i]:offsets[i+1]]. Building a PLI therefore costs two
+// allocations regardless of cluster count, and iterating clusters walks one
+// contiguous array instead of chasing a pointer per cluster. Access goes
+// through Cluster, ForEachCluster or ClusterIter; the backing arrays are
+// never handed out mutably.
+//
+// Each PLI additionally caches a lazily materialised cluster-ID attribute
+// vector (ProbeVector): probe[row] is the cluster index of row, or -1 for
+// stripped singletons. Intersect probes it instead of rebuilding a probe
+// table per call, so repeated intersections against the same left operand
+// pay the build once. The vector is built under a sync.Once and published
+// atomically, making concurrent intersections of shared cached PLIs safe.
+//
+// Intersections group rows with reusable Scratch arenas (see scratch.go)
+// instead of per-call maps: the steady-state intersect path performs zero
+// map allocations.
 package pli
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
 
 // PLI is a stripped partition of a relation's rows. The zero value is not
 // useful; construct PLIs with FromColumn, FromAllRows, Intersect, or
-// IntersectColumn.
+// IntersectColumn. A PLI is immutable after construction except for the
+// lazily cached probe vector, which is published atomically; all methods are
+// safe for concurrent use.
 type PLI struct {
-	clusters [][]int32
-	nRows    int
+	rows    []int32 // cluster members, cluster by cluster (one allocation)
+	offsets []int32 // cluster i = rows[offsets[i]:offsets[i+1]]; nil if no clusters
+	nRows   int
+
+	probeOnce sync.Once
+	probe     atomic.Pointer[[]int32]
 }
 
 // FromColumn builds the PLI of a single dictionary-encoded column.
 // cardinality is the number of distinct codes (the dictionary size).
 func FromColumn(col []int32, cardinality int) *PLI {
-	buckets := make([][]int32, cardinality)
-	for row, code := range col {
-		buckets[code] = append(buckets[code], int32(row))
+	s := getScratch()
+	defer putScratch(s)
+	return FromColumnScratch(col, cardinality, s)
+}
+
+// FromColumnScratch is FromColumn with a caller-owned Scratch arena (see the
+// ownership contract in scratch.go). Clusters are emitted in ascending code
+// order, rows within a cluster in row order.
+func FromColumnScratch(col []int32, cardinality int, s *Scratch) *PLI {
+	s.ensure(cardinality)
+	counts := s.counts[:cardinality]
+	for _, code := range col {
+		counts[code]++
 	}
-	p := &PLI{nRows: len(col)}
-	for _, b := range buckets {
-		if len(b) >= 2 {
-			p.clusters = append(p.clusters, b)
+	nClusters, nStored := 0, 0
+	for _, c := range counts {
+		if c >= 2 {
+			nClusters++
+			nStored += int(c)
 		}
 	}
+	p := &PLI{nRows: len(col)}
+	if nClusters > 0 {
+		p.rows = make([]int32, nStored)
+		p.offsets = make([]int32, nClusters+1)
+		starts := s.starts[:cardinality]
+		cursor := int32(0)
+		ci := 1
+		for code, c := range counts {
+			if c >= 2 {
+				starts[code] = cursor
+				cursor += c
+				p.offsets[ci] = cursor
+				ci++
+			} else {
+				starts[code] = -1
+			}
+		}
+		for row, code := range col {
+			if st := starts[code]; st >= 0 {
+				p.rows[st] = int32(row)
+				starts[code]++
+			}
+		}
+	}
+	clear(counts) // restore the all-zero Scratch invariant
 	return p
 }
 
@@ -38,22 +107,41 @@ func FromColumn(col []int32, cardinality int) *PLI {
 func FromAllRows(nRows int) *PLI {
 	p := &PLI{nRows: nRows}
 	if nRows >= 2 {
-		all := make([]int32, nRows)
-		for i := range all {
-			all[i] = int32(i)
+		p.rows = make([]int32, nRows)
+		for i := range p.rows {
+			p.rows[i] = int32(i)
 		}
-		p.clusters = [][]int32{all}
+		p.offsets = []int32{0, int32(nRows)}
 	}
 	return p
 }
 
 // FromClusters builds a PLI from explicit clusters, stripping singletons.
 // It is intended for tests and for reconstructing PLIs from raw partitions.
+// Row ids outside [0, nRows) are rejected with a panic — a silently accepted
+// out-of-range id would corrupt every probe vector built from the PLI.
 func FromClusters(nRows int, clusters [][]int32) *PLI {
-	p := &PLI{nRows: nRows}
+	nClusters, nStored := 0, 0
 	for _, c := range clusters {
+		for _, row := range c {
+			if row < 0 || int(row) >= nRows {
+				panic(fmt.Sprintf("pli.FromClusters: row id %d outside [0, %d)", row, nRows))
+			}
+		}
 		if len(c) >= 2 {
-			p.clusters = append(p.clusters, append([]int32(nil), c...))
+			nClusters++
+			nStored += len(c)
+		}
+	}
+	p := &PLI{nRows: nRows}
+	if nClusters > 0 {
+		p.rows = make([]int32, 0, nStored)
+		p.offsets = make([]int32, 1, nClusters+1)
+		for _, c := range clusters {
+			if len(c) >= 2 {
+				p.rows = append(p.rows, c...)
+				p.offsets = append(p.offsets, int32(len(p.rows)))
+			}
 		}
 	}
 	return p
@@ -63,81 +151,195 @@ func FromClusters(nRows int, clusters [][]int32) *PLI {
 func (p *PLI) NumRows() int { return p.nRows }
 
 // NumClusters returns the number of (stripped) clusters.
-func (p *PLI) NumClusters() int { return len(p.clusters) }
+func (p *PLI) NumClusters() int {
+	if len(p.offsets) == 0 {
+		return 0
+	}
+	return len(p.offsets) - 1
+}
 
-// Clusters exposes the clusters (not a copy; callers must not modify).
-func (p *PLI) Clusters() [][]int32 { return p.clusters }
+// Cluster returns cluster i as a read-only view into the backing row array;
+// callers must not modify it.
+func (p *PLI) Cluster(i int) []int32 {
+	return p.rows[p.offsets[i]:p.offsets[i+1]:p.offsets[i+1]]
+}
+
+// ForEachCluster calls fn once per cluster, in cluster order. The slice is a
+// view into the backing row array and must not be modified or retained.
+func (p *PLI) ForEachCluster(fn func(cluster []int32)) {
+	for i, n := 0, p.NumClusters(); i < n; i++ {
+		fn(p.Cluster(i))
+	}
+}
+
+// ClusterIter walks a PLI's clusters without a closure; see PLI.Iter.
+type ClusterIter struct {
+	p *PLI
+	i int
+}
+
+// Iter returns an iterator over the clusters.
+func (p *PLI) Iter() ClusterIter { return ClusterIter{p: p} }
+
+// Next returns the next cluster (a read-only view, like Cluster) and whether
+// one was available.
+func (it *ClusterIter) Next() ([]int32, bool) {
+	if it.i >= it.p.NumClusters() {
+		return nil, false
+	}
+	c := it.p.Cluster(it.i)
+	it.i++
+	return c, true
+}
 
 // IsUnique reports whether the underlying column combination is a UCC:
 // a stripped partition with no clusters has only unique values.
-func (p *PLI) IsUnique() bool { return len(p.clusters) == 0 }
+func (p *PLI) IsUnique() bool { return len(p.offsets) == 0 }
 
 // ErrorSum returns sum(|cluster| - 1), the number of "redundant" rows. Two
 // PLIs over the same rows have equal distinct counts iff their error sums are
-// equal, which is how partition refinement (Lemma 1) is tested cheaply.
-func (p *PLI) ErrorSum() int {
-	e := 0
-	for _, c := range p.clusters {
-		e += len(c) - 1
-	}
-	return e
-}
+// equal, which is how partition refinement (Lemma 1) is tested cheaply. With
+// the flat layout this is O(1): stored rows minus cluster count.
+func (p *PLI) ErrorSum() int { return len(p.rows) - p.NumClusters() }
 
 // DistinctCount returns the number of distinct value combinations, i.e. the
 // cardinality |X|_r used by FUN's free-set classification.
 func (p *PLI) DistinctCount() int { return p.nRows - p.ErrorSum() }
 
-// Intersect returns the PLI of X ∪ Y given the PLIs of X and Y, using the
-// standard probe-table algorithm: rows are keyed by their cluster in p and
-// grouped within the clusters of q.
+// ProbeVector returns the cluster-ID attribute vector of the PLI:
+// probe[row] is the index of the cluster containing row, or -1 if row is a
+// stripped singleton. The vector is materialised on first use and cached for
+// the PLI's lifetime (it is what makes repeated Intersect calls against the
+// same left operand skip the probe-build pass). Callers must not modify it.
+func (p *PLI) ProbeVector() []int32 {
+	if v := p.probe.Load(); v != nil {
+		return *v
+	}
+	p.probeOnce.Do(func() {
+		probe := make([]int32, p.nRows)
+		for i := range probe {
+			probe[i] = -1
+		}
+		for ci, n := 0, p.NumClusters(); ci < n; ci++ {
+			for _, row := range p.Cluster(ci) {
+				probe[row] = int32(ci)
+			}
+		}
+		p.probe.Store(&probe)
+	})
+	return *p.probe.Load()
+}
+
+// probeMaterialized reports whether the attribute vector has been built (and
+// is therefore part of the PLI's heap footprint).
+func (p *PLI) probeMaterialized() bool { return p.probe.Load() != nil }
+
+// Intersect returns the PLI of X ∪ Y given the PLIs of X and Y. If either
+// operand is already unique the intersection is unique too and returned
+// without touching probe vectors or scratch space. Otherwise the operand
+// with the smaller ErrorSum is the side whose clusters are scanned — fewer
+// rows to group — and its rows are probed against the larger side's cached
+// cluster-ID vector.
 func (p *PLI) Intersect(q *PLI) *PLI {
-	probe := make([]int32, p.nRows)
-	for i := range probe {
-		probe[i] = -1
+	s := getScratch()
+	defer putScratch(s)
+	return p.IntersectScratch(q, s)
+}
+
+// IntersectScratch is Intersect with a caller-owned Scratch arena (see the
+// ownership contract in scratch.go).
+func (p *PLI) IntersectScratch(q *PLI, s *Scratch) *PLI {
+	if p.IsUnique() || q.IsUnique() {
+		return &PLI{nRows: p.nRows}
 	}
-	for ci, cluster := range p.clusters {
-		for _, row := range cluster {
-			probe[row] = int32(ci)
-		}
+	small, big := p, q
+	if small.ErrorSum() > big.ErrorSum() {
+		small, big = big, small
 	}
-	out := &PLI{nRows: p.nRows}
-	groups := make(map[int32][]int32)
-	for _, cluster := range q.clusters {
-		for _, row := range cluster {
-			pc := probe[row]
-			if pc < 0 {
-				continue // singleton in p → singleton in the intersection
-			}
-			groups[pc] = append(groups[pc], row)
-		}
-		for pc, g := range groups {
-			if len(g) >= 2 {
-				out.clusters = append(out.clusters, append([]int32(nil), g...))
-			}
-			delete(groups, pc)
-		}
-	}
-	return out
+	return small.intersectKeyed(big.ProbeVector(), big.NumClusters(), s)
 }
 
 // IntersectColumn returns the PLI of X ∪ {A} given the PLI of X and the
-// dictionary-encoded column A. This avoids materialising A's PLI and is the
-// intersection flavour used on lattice walks.
-func (p *PLI) IntersectColumn(col []int32) *PLI {
+// dictionary-encoded column A with the given dictionary size. This avoids
+// materialising A's PLI and is the intersection flavour used on lattice
+// walks. A cluster-free (unique) receiver short-circuits to the empty PLI.
+func (p *PLI) IntersectColumn(col []int32, cardinality int) *PLI {
+	s := getScratch()
+	defer putScratch(s)
+	return p.IntersectColumnScratch(col, cardinality, s)
+}
+
+// IntersectColumnScratch is IntersectColumn with a caller-owned Scratch arena
+// (see the ownership contract in scratch.go).
+func (p *PLI) IntersectColumnScratch(col []int32, cardinality int, s *Scratch) *PLI {
+	if p.IsUnique() {
+		return &PLI{nRows: p.nRows}
+	}
+	return p.intersectKeyed(col, cardinality, s)
+}
+
+// intersectKeyed groups the rows of p's clusters by keys[row], dropping rows
+// with a negative key (singletons of the probed side) and groups of size one,
+// and emits the surviving groups as a flat PLI. keyRange bounds the key
+// values; s provides the map-free grouping arenas. Within a cluster, groups
+// are emitted in order of first occurrence, which is deterministic.
+func (p *PLI) intersectKeyed(keys []int32, keyRange int, s *Scratch) *PLI {
+	s.ensure(keyRange)
 	out := &PLI{nRows: p.nRows}
-	groups := make(map[int32][]int32)
-	for _, cluster := range p.clusters {
+	// The output cannot hold more rows than the scanned clusters, nor more
+	// clusters than half of that: allocate the bounds once, shrink below.
+	buf := make([]int32, len(p.rows))
+	offsets := make([]int32, 1, len(p.rows)/2+2)
+	cursor := int32(0)
+	counts, starts := s.counts, s.starts
+	touched := s.touched[:0]
+	for ci, n := 0, p.NumClusters(); ci < n; ci++ {
+		cluster := p.rows[p.offsets[ci]:p.offsets[ci+1]]
+		touched = touched[:0]
 		for _, row := range cluster {
-			code := col[row]
-			groups[code] = append(groups[code], row)
-		}
-		for code, g := range groups {
-			if len(g) >= 2 {
-				out.clusters = append(out.clusters, append([]int32(nil), g...))
+			k := keys[row]
+			if k < 0 {
+				continue // singleton on the probed side → singleton in the result
 			}
-			delete(groups, code)
+			if counts[k] == 0 {
+				touched = append(touched, k)
+			}
+			counts[k]++
+		}
+		for _, k := range touched {
+			if counts[k] >= 2 {
+				starts[k] = cursor
+				cursor += counts[k]
+				offsets = append(offsets, cursor)
+			} else {
+				starts[k] = -1 // stripped from the result
+			}
+		}
+		for _, row := range cluster {
+			k := keys[row]
+			if k < 0 || starts[k] < 0 {
+				continue
+			}
+			buf[starts[k]] = row
+			starts[k]++
+		}
+		for _, k := range touched {
+			counts[k] = 0 // restore the all-zero invariant
 		}
 	}
+	s.touched = touched[:0] // keep the grown capacity for the next call
+	if cursor == 0 {
+		return out
+	}
+	if int(cursor) <= len(buf)/2 {
+		// The bound over-shot by 2x or more: copy down so the retained (and
+		// possibly cached) PLI does not pin the oversized buffer.
+		buf = append([]int32(nil), buf[:cursor]...)
+	} else {
+		buf = buf[:cursor]
+	}
+	out.rows = buf
+	out.offsets = offsets
 	return out
 }
 
@@ -145,9 +347,10 @@ func (p *PLI) IntersectColumn(col []int32) *PLI {
 // dictionary-encoded column A: every cluster of X must be constant in A
 // (Lemma 1: |X| = |X ∪ {A}|). It exits on the first violating cluster.
 func (p *PLI) Refines(col []int32) bool {
-	for _, cluster := range p.clusters {
-		first := col[cluster[0]]
-		for _, row := range cluster[1:] {
+	rows, offs := p.rows, p.offsets
+	for ci := 0; ci+1 < len(offs); ci++ {
+		first := col[rows[offs[ci]]]
+		for _, row := range rows[offs[ci]+1 : offs[ci+1]] {
 			if col[row] != first {
 				return false
 			}
@@ -172,7 +375,9 @@ func (p *PLI) RefinesEach(cols [][]int32) []bool {
 	if remaining == 0 {
 		return ok
 	}
-	for _, cluster := range p.clusters {
+	rows, offs := p.rows, p.offsets
+	for ci := 0; ci+1 < len(offs); ci++ {
+		cluster := rows[offs[ci]:offs[ci+1]]
 		for i, c := range cols {
 			if c == nil || !ok[i] {
 				continue
@@ -193,23 +398,20 @@ func (p *PLI) RefinesEach(cols [][]int32) []bool {
 	return ok
 }
 
-// MemoryFootprint returns an approximate number of row ids stored, used by
-// the cache to bound memory.
-func (p *PLI) MemoryFootprint() int {
-	n := 0
-	for _, c := range p.clusters {
-		n += len(c)
-	}
-	return n
-}
-
-// ApproxBytes estimates the heap bytes held by the PLI: 4 bytes per stored
-// row id, a slice header per cluster, and the struct itself. The memory
-// governor's byte budget accounts cached PLIs with this estimate.
+// ApproxBytes is the single byte-accounting method of a PLI, used by both
+// the cache stats surface and the memory governor: the struct itself, four
+// bytes per stored row id and offset, and — once materialised — four bytes
+// per row for the cached attribute vector. For the flat layout this is exact
+// up to the fixed struct overhead. Budgeted caches snapshot the value at Put
+// time (see MapCache), so a vector materialised after caching grows the
+// process heap but not the cache ledger; the Provider's lattice-walk path
+// never materialises vectors on cached PLIs, keeping the ledger truthful.
 func (p *PLI) ApproxBytes() int64 {
-	const (
-		structOverhead = 48 // PLI struct + outer slice header
-		clusterHeader  = 24 // one slice header per cluster
-	)
-	return structOverhead + int64(len(p.clusters))*clusterHeader + 4*int64(p.MemoryFootprint())
+	// PLI struct: three slice/pointer words of headers plus scalars, rounded.
+	const pliStructBytes = 96
+	b := pliStructBytes + 4*int64(len(p.rows)+len(p.offsets))
+	if p.probeMaterialized() {
+		b += 4 * int64(p.nRows)
+	}
+	return b
 }

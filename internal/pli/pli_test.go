@@ -15,15 +15,15 @@ import (
 // canon converts a PLI into a canonical form (sorted clusters of sorted rows)
 // for comparisons.
 func canon(p *PLI) [][]int32 {
-	if len(p.clusters) == 0 {
+	if p.NumClusters() == 0 {
 		return nil
 	}
-	out := make([][]int32, 0, len(p.clusters))
-	for _, c := range p.clusters {
+	out := make([][]int32, 0, p.NumClusters())
+	p.ForEachCluster(func(c []int32) {
 		cc := append([]int32(nil), c...)
 		sort.Slice(cc, func(i, j int) bool { return cc[i] < cc[j] })
 		out = append(out, cc)
-	}
+	})
 	sort.Slice(out, func(i, j int) bool { return out[i][0] < out[j][0] })
 	return out
 }
@@ -97,8 +97,8 @@ func TestUniqueColumn(t *testing.T) {
 
 func TestFromAllRows(t *testing.T) {
 	p := FromAllRows(4)
-	if p.NumClusters() != 1 || len(p.Clusters()[0]) != 4 {
-		t.Errorf("clusters = %v", p.Clusters())
+	if p.NumClusters() != 1 || len(p.Cluster(0)) != 4 {
+		t.Errorf("clusters = %v", canon(p))
 	}
 	if FromAllRows(1).NumClusters() != 0 {
 		t.Error("single-row relation: empty set PLI must be stripped empty")
@@ -125,7 +125,7 @@ func TestIntersectExample(t *testing.T) {
 		t.Errorf("Intersect = %v, want %v", got, want)
 	}
 	// IntersectColumn must agree.
-	got2 := canon(a.IntersectColumn([]int32{0, 0, 0, 1, 1}))
+	got2 := canon(a.IntersectColumn([]int32{0, 0, 0, 1, 1}, 2))
 	if !reflect.DeepEqual(got2, want) {
 		t.Errorf("IntersectColumn = %v, want %v", got2, want)
 	}
@@ -159,10 +159,58 @@ func TestRefinesEach(t *testing.T) {
 	}
 }
 
-func TestMemoryFootprint(t *testing.T) {
+func TestFromClustersRejectsOutOfRangeRows(t *testing.T) {
+	for _, bad := range [][][]int32{
+		{{0, 6}},  // row id == nRows
+		{{-1, 1}}, // negative row id
+		{{0, 1}, {2, 99}},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("FromClusters(6, %v) did not panic", bad)
+				}
+			}()
+			FromClusters(6, bad)
+		}()
+	}
+	// In-range ids build fine and count stored rows correctly.
 	p := FromClusters(6, [][]int32{{0, 1, 2}, {3, 4}})
-	if p.MemoryFootprint() != 5 {
-		t.Errorf("MemoryFootprint = %d, want 5", p.MemoryFootprint())
+	if stored := p.ErrorSum() + p.NumClusters(); stored != 5 {
+		t.Errorf("stored rows = %d, want 5", stored)
+	}
+}
+
+func TestClusterIter(t *testing.T) {
+	p := FromColumn([]int32{0, 1, 0, 2, 1, 0}, 3)
+	var got [][]int32
+	for it := p.Iter(); ; {
+		c, ok := it.Next()
+		if !ok {
+			break
+		}
+		got = append(got, append([]int32(nil), c...))
+	}
+	want := canon(p)
+	sort.Slice(got, func(i, j int) bool { return got[i][0] < got[j][0] })
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("iterator clusters = %v, want %v", got, want)
+	}
+	if n := p.NumClusters(); n != 2 {
+		t.Errorf("NumClusters = %d, want 2", n)
+	}
+}
+
+func TestProbeVector(t *testing.T) {
+	p := FromColumn([]int32{0, 1, 0, 2, 1, 0}, 3)
+	probe := p.ProbeVector()
+	want := []int32{0, 1, 0, -1, 1, 0} // cluster 0 = {0,2,5}, cluster 1 = {1,4}, row 3 singleton
+	if !reflect.DeepEqual(probe, want) {
+		t.Errorf("ProbeVector = %v, want %v", probe, want)
+	}
+	// The vector is cached: a second call returns the same backing array.
+	if &probe[0] != &p.ProbeVector()[0] {
+		t.Error("ProbeVector rebuilt instead of cached")
 	}
 }
 
@@ -190,7 +238,7 @@ func TestQuickIntersectCorrect(t *testing.T) {
 		if !reflect.DeepEqual(canon(pb.Intersect(pa)), canon(inter)) {
 			return false
 		}
-		viaCol := pa.IntersectColumn(r.Column(b.First()))
+		viaCol := pa.IntersectColumn(r.Column(b.First()), r.Cardinality(b.First()))
 		return reflect.DeepEqual(canon(viaCol), canon(inter))
 	}, cfg); err != nil {
 		t.Error(err)

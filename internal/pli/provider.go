@@ -60,7 +60,10 @@ func NewProvider(rel *relation.Relation, maxEntries int) *Provider {
 //
 // The single-column PLIs are built concurrently, one indexed slot per column
 // across GOMAXPROCS workers; the result is identical to the sequential build
-// because each column's PLI depends only on that column's data.
+// because each column's PLI depends only on that column's data. Each worker
+// slot owns one Scratch arena sized to the relation's maximum cardinality
+// (the worker-slot ownership contract of scratch.go), so the whole build
+// performs one grouping-arena allocation per worker, not one per column.
 func NewProviderWithCache(rel *relation.Relation, cache Cache) *Provider {
 	if cache == nil {
 		cache = NewMapCache(0)
@@ -71,8 +74,16 @@ func NewProviderWithCache(rel *relation.Relation, cache Cache) *Provider {
 		empty:  FromAllRows(rel.NumRows()),
 		cache:  cache,
 	}
-	parallel.For(context.Background(), parallel.Workers(0), rel.NumColumns(), func(c int) {
-		p.single[c] = FromColumn(rel.Column(c), rel.Cardinality(c))
+	maxCard := rel.MaxCardinality()
+	scratches := make([]*Scratch, parallel.Workers(0))
+	parallel.ForWorker(context.Background(), parallel.Workers(0), rel.NumColumns(), func(w, c int) {
+		s := scratches[w]
+		if s == nil {
+			s = NewScratch()
+			s.Ensure(maxCard)
+			scratches[w] = s
+		}
+		p.single[c] = FromColumnScratch(rel.Column(c), rel.Cardinality(c), s)
 	})
 	return p
 }
@@ -130,10 +141,12 @@ func (p *Provider) Get(s bitset.Set) *PLI {
 
 // intersectColumn performs one counted column intersection. The armed
 // faults.PLIIntersect point panics here (Get has no error channel); the
-// engine's panic isolation converts it into a failed job.
+// engine's panic isolation converts it into a failed job. The grouping
+// scratch comes from the package pool (Get is called from arbitrary
+// goroutines, so no worker slot is available here; see scratch.go).
 func (p *Provider) intersectColumn(base *PLI, c int) *PLI {
 	faults.Check(faults.PLIIntersect)
-	out := base.IntersectColumn(p.rel.Column(c))
+	out := base.IntersectColumn(p.rel.Column(c), p.rel.Cardinality(c))
 	p.intersections.Add(1)
 	return out
 }

@@ -1,0 +1,54 @@
+package pli
+
+import "sync"
+
+// Scratch is a reusable grouping arena for PLI construction and
+// intersection. It replaces the per-call map[int32][]int32 grouping of the
+// pre-flat implementation: counts and starts are dense arrays indexed by
+// grouping key (dictionary code or probe cluster ID), touched remembers which
+// keys a cluster dirtied so resets cost O(cluster), not O(key range). In the
+// steady state an intersection therefore performs zero map allocations and
+// only the output PLI's own arrays are allocated.
+//
+// Ownership contract: a Scratch is NOT safe for concurrent use. There are
+// two sanctioned ways to hold one:
+//
+//   - Worker-slot ownership: code fanning intersections out across
+//     internal/parallel owns one Scratch per worker slot and passes it to the
+//     *Scratch method flavours (FromColumnScratch, IntersectScratch,
+//     IntersectColumnScratch). parallel.ForWorker guarantees a slot is never
+//     run by two goroutines at once, so slot-indexed scratches need no locks.
+//     The Provider's single-column build uses this path.
+//   - Pool fallback: the plain FromColumn/Intersect/IntersectColumn methods
+//     borrow a Scratch from a package-level sync.Pool for the duration of the
+//     call. This is the path for sequential callers and for code that reaches
+//     intersections through Provider.Get from arbitrary goroutines.
+//
+// Invariant between calls: counts is all-zero (each call resets exactly the
+// entries it dirtied), so a pooled Scratch never leaks state across users.
+type Scratch struct {
+	counts  []int32 // per-key occurrence counts within the current cluster
+	starts  []int32 // per-key write cursors into the output row array
+	touched []int32 // keys dirtied by the current cluster (bounds the reset)
+}
+
+// NewScratch returns an empty Scratch; its arenas grow on demand.
+func NewScratch() *Scratch { return &Scratch{} }
+
+// ensure grows the arenas to cover keys in [0, keyRange). Newly allocated
+// counts are zero, preserving the all-zero invariant.
+func (s *Scratch) ensure(keyRange int) {
+	if len(s.counts) < keyRange {
+		s.counts = make([]int32, keyRange)
+		s.starts = make([]int32, keyRange)
+	}
+}
+
+// Ensure pre-sizes the arenas for keys in [0, keyRange), so a worker-slot
+// Scratch sized once to the relation's maximum cardinality never regrows.
+func (s *Scratch) Ensure(keyRange int) { s.ensure(keyRange) }
+
+var scratchPool = sync.Pool{New: func() any { return NewScratch() }}
+
+func getScratch() *Scratch  { return scratchPool.Get().(*Scratch) }
+func putScratch(s *Scratch) { scratchPool.Put(s) }

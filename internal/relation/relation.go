@@ -224,6 +224,21 @@ func (r *Relation) Column(c int) []int32 { return r.cols[c] }
 // Cardinality returns the number of distinct values in column c.
 func (r *Relation) Cardinality(c int) int { return len(r.dicts[c]) }
 
+// MaxCardinality returns the largest per-column cardinality, i.e. the widest
+// dictionary. PLI construction sizes its grouping arenas with it: a scratch
+// arena covering [0, MaxCardinality) fits the code range of every column, so
+// the flat column→PLI build allocates its arena once per worker instead of
+// regrowing per column.
+func (r *Relation) MaxCardinality() int {
+	max := 0
+	for c := range r.cols {
+		if card := r.Cardinality(c); card > max {
+			max = card
+		}
+	}
+	return max
+}
+
 // NullCode returns the dictionary code of NULL in column c, or -1 if the
 // column has no NULLs.
 func (r *Relation) NullCode(c int) int32 { return r.nullID[c] }

@@ -43,7 +43,7 @@ func AgreeSet(p *pli.Provider) Result {
 	type pair struct{ a, b int32 }
 	seen := make(map[pair]bool)
 	for c := 0; c < n; c++ {
-		for _, cluster := range p.SingleColumn(c).Clusters() {
+		p.SingleColumn(c).ForEachCluster(func(cluster []int32) {
 			for i := 0; i < len(cluster); i++ {
 				for j := i + 1; j < len(cluster); j++ {
 					pr := pair{cluster[i], cluster[j]}
@@ -58,7 +58,7 @@ func AgreeSet(p *pli.Provider) Result {
 					maximal.Add(agreeSet(cols, pr.a, pr.b))
 				}
 			}
-		}
+		})
 	}
 
 	all := rel.AllColumns()

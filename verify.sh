@@ -28,6 +28,12 @@ go test -race -count=1 -run 'TestWorkerCountEquivalence|TestParallelMudsCancella
 echo "== CSV fuzz smoke =="
 go test -run='^$' -fuzz='^FuzzReadCSV$' -fuzztime=10s ./internal/relation/
 
+echo "== PLI differential fuzz smoke (flat layout vs reference) =="
+go test -run='^$' -fuzz='^FuzzPLIEquivalence$' -fuzztime=10s ./internal/pli/
+
+echo "== PLI bench smoke (compile + one iteration) =="
+go test -run='^$' -bench 'Intersect' -benchtime=1x ./internal/pli/
+
 echo "== chaos suite (fault injection, race) =="
 go test -race -count=1 -run 'TestChaos|TestJobDeadlinePartialResult' ./internal/server/
 

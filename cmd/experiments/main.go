@@ -4,7 +4,7 @@
 // Usage:
 //
 //	experiments [-fig6] [-fig7] [-table3] [-fig8] [-sweep] [-parallel] [-pli]
-//	            [-all] [-scale f] [-full] [-seed n]
+//	            [-validate] [-all] [-scale f] [-full] [-seed n]
 //
 // By default every experiment runs at a reduced scale that finishes in a few
 // minutes; -full selects the paper-scale parameters (expect long runtimes,
@@ -30,12 +30,15 @@ func main() {
 		parJSON = flag.String("parallel-json", "BENCH_parallel.json", "output path of the -parallel measurements (empty = no file)")
 		pliB    = flag.Bool("pli", false, "PLI intersection micro-benchmark (writes BENCH_pli.json)")
 		pliJSON = flag.String("pli-json", "BENCH_pli.json", "output path of the -pli measurements (empty = no file)")
+		valB    = flag.Bool("validate", false, "validation fast-path benchmark (writes BENCH_validate.json)")
+		valJSON = flag.String("validate-json", "BENCH_validate.json", "output path of the -validate measurements (empty = no file)")
+		valRows = flag.Int("validate-rows", 100000, "row count of the -validate generators")
 		all     = flag.Bool("all", false, "run every experiment")
 		full    = flag.Bool("full", false, "paper-scale parameters (slow)")
 		seed    = flag.Int64("seed", 1, "random-walk seed")
 	)
 	flag.Parse()
-	if !(*fig6 || *fig7 || *table3 || *fig8 || *sweep || *par || *pliB || *all) {
+	if !(*fig6 || *fig7 || *table3 || *fig8 || *sweep || *par || *pliB || *valB || *all) {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -99,6 +102,11 @@ func main() {
 	}
 	if *all || *pliB {
 		_, err := experiments.PLIBench(w, *pliJSON)
+		fail(err)
+		fmt.Fprintln(w)
+	}
+	if *all || *valB {
+		_, err := experiments.ValidateBench(w, *valJSON, *valRows, *seed)
 		fail(err)
 		fmt.Fprintln(w)
 	}

@@ -69,6 +69,7 @@ func run(args []string, out io.Writer) error {
 		seed      = flag.Int64("seed", 0, "random-walk seed (results are seed-independent)")
 		workers   = flag.Int("workers", 0, "worker pool size for the parallel phases (0 = all CPUs, 1 = sequential; results are identical for every value)")
 		cacheMax  = flag.Int64("max-cache-bytes", 0, "PLI cache byte budget (0 = default, -1 = unbudgeted); over budget the cache sheds and recomputes, results are identical for every value")
+		sampleChk = flag.Bool("sample-check", false, "arm the sampled refutation prefilter on validation checks (results are identical either way)")
 		naryArity = flag.Int("nary", 0, "also discover n-ary INDs up to this arity (0 = off)")
 		approxEps = flag.Float64("approx", 0, "also discover approximate FDs with g3 error ≤ eps (0 = off)")
 		asJSON    = flag.Bool("json", false, "deprecated alias for -format json")
@@ -117,7 +118,7 @@ func run(args []string, out io.Writer) error {
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
 	}
-	res, err := core.RunContext(ctx, *algorithm, src, core.Options{Seed: *seed, Workers: *workers, MaxCacheBytes: *cacheMax}, nil)
+	res, err := core.RunContext(ctx, *algorithm, src, core.Options{Seed: *seed, Workers: *workers, MaxCacheBytes: *cacheMax, SampleCheck: *sampleChk}, nil)
 	// Anytime semantics: a deadline hit still prints the dependencies
 	// confirmed before the stop — marked partial — and exits non-zero.
 	timedOut := errors.Is(err, context.DeadlineExceeded) && res != nil

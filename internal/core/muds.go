@@ -36,6 +36,15 @@ type Options struct {
 	// varies. With Workers > 1 the strategies back the shared PLI provider
 	// with a ShardedCache so it is safe to share across the pool.
 	Workers int
+	// SampleCheck arms the sampled refutation prefilter of the PLI
+	// provider's validation fast path: boolean questions (uniqueness, FD
+	// refinement) first run against a deterministic stride sample of the
+	// rows and fall through to the exact check only when the sample finds no
+	// counterexample. A sampled counterexample is exact evidence, so the
+	// discovered IND/UCC/FD sets are identical with and without sampling;
+	// only the work per check changes. Relations below the effective sample
+	// threshold (see pli.Provider.WithSampleCheck) run unsampled regardless.
+	SampleCheck bool
 }
 
 // workerCount resolves Workers to an effective pool width.
@@ -59,10 +68,13 @@ func (o Options) cacheBudget() int64 {
 // MapCache when it stays sequential. Both are byte-budgeted (the memory
 // governor) per cacheBudget.
 func (o Options) newProvider(rel *relation.Relation) *pli.Provider {
+	var p *pli.Provider
 	if w := o.workerCount(); w > 1 {
-		return pli.NewProviderWithCache(rel, pli.NewShardedCacheBudget(w, o.CacheEntries, o.cacheBudget()))
+		p = pli.NewProviderWithCache(rel, pli.NewShardedCacheBudget(w, o.CacheEntries, o.cacheBudget()))
+	} else {
+		p = pli.NewProviderWithCache(rel, pli.NewMapCacheBudget(o.CacheEntries, o.cacheBudget()))
 	}
-	return pli.NewProviderWithCache(rel, pli.NewMapCacheBudget(o.CacheEntries, o.cacheBudget()))
+	return p.WithSampleCheck(o.SampleCheck)
 }
 
 // Muds runs the full holistic MUDS algorithm (paper Sec. 5) on a loaded

@@ -145,7 +145,9 @@ func (m *mudsFD) resolveFD(lhs bitset.Set, a int) bool {
 		return false
 	}
 	m.checks++
-	if m.p.Get(lhs).Refines(m.p.Relation().Column(a)) {
+	// Non-materializing fast path: the provider folds lhs's missing columns
+	// over the cheapest cached ancestor instead of building lhs's PLI.
+	if m.p.CheckFD(lhs, a) {
 		return true
 	}
 	m.falseFamily(a).Add(lhs)

@@ -54,12 +54,12 @@ type walkOutcome struct {
 // concurrently.
 func (m *mudsFD) walkRHS(a int, knownTrue, knownFalse []bitset.Set) walkOutcome {
 	base := m.working.Without(a)
-	col := m.p.Relation().Column(a)
 	pred := func(s bitset.Set) bool {
 		// Known-FD pruning (paper Sec. 5.2): drop attributes of s that are
 		// determined by the rest of s before touching PLIs — the canonical
-		// set has the same closure, and its PLI is more likely cached.
-		return m.p.Get(m.canonicalLHS(s)).Refines(col)
+		// set has the same closure and a cheaper fold plan. CheckFD answers
+		// on the validation fast path without materialising the lhs PLI.
+		return m.p.CheckFD(m.canonicalLHS(s), a)
 	}
 	res, err := walker.RunContext(m.ctx, base, pred, walker.Options{
 		Seed:       m.seed + int64(a)*7919,

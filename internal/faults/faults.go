@@ -49,8 +49,10 @@ type Point string
 const (
 	// ReaderIO fires inside relation.ReadCSV, before the input is parsed.
 	ReaderIO Point = "reader.io"
-	// PLIIntersect fires inside pli.Provider.Get before an intersection.
-	// Get has no error channel, so every mode surfaces as a panic.
+	// PLIIntersect fires inside pli.Provider before an intersection — both
+	// the materializing kind (Get, fast-path promotions) and the
+	// non-materializing validation folds of the check kernels. The provider
+	// has no error channel there, so every mode surfaces as a panic.
 	PLIIntersect Point = "pli.intersect"
 	// CacheGet fires on multi-column PLI cache probes. error/transient modes
 	// degrade the probe to a miss (the PLI is recomputed); panic panics.

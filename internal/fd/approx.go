@@ -46,7 +46,10 @@ func G3(p *pli.Provider, lhs bitset.Set, rhs int) float64 {
 	violations := 0
 	counts := make([]int32, rel.Cardinality(rhs))
 	var touched []int32
-	p.Get(lhs).ForEachCluster(func(cluster []int32) {
+	// The per-cluster majority sum is order-insensitive, so the clusters are
+	// streamed off the provider's non-materializing fold instead of
+	// materialising (and caching) every enumerated lhs partition.
+	p.ForEachCluster(lhs, func(cluster []int32) bool {
 		best := int32(0)
 		for _, row := range cluster {
 			code := col[row]
@@ -63,6 +66,7 @@ func G3(p *pli.Provider, lhs bitset.Set, rhs int) float64 {
 			counts[code] = 0
 		}
 		touched = touched[:0]
+		return true
 	})
 	return float64(violations) / float64(rel.NumRows())
 }

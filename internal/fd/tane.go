@@ -124,7 +124,10 @@ func (t *taneState) run() error {
 			for a := candidates.First(); a >= 0; a = candidates.NextAfter(a) {
 				lhs := x.Without(a)
 				checks++
-				if t.p.Cardinality(lhs) == t.p.Cardinality(x) {
+				// |π_lhs| = |π_x| iff π_lhs refines column a (Lemma 1), so
+				// the verdict is a CheckFD on the validation fast path —
+				// neither π_lhs nor π_x is materialised for it.
+				if t.p.CheckFD(lhs, a) {
 					valid = valid.With(a)
 					c = c.Without(a)
 					c = c.Diff(t.working.Diff(x)) // remove all B ∈ R \ X

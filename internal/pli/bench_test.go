@@ -99,6 +99,101 @@ func BenchmarkRefines(b *testing.B) {
 	}
 }
 
+// BenchmarkCheckUnique measures the early-exit uniqueness kernel against
+// the materializing alternative it replaces (IntersectColumn + IsUnique) on
+// the same fold. With a caller-owned Scratch the kernel's steady state is
+// zero allocs/op — ReportAllocs turns any regression into a visible number.
+func BenchmarkCheckUnique(b *testing.B) {
+	for _, rows := range benchSizes {
+		rel := benchRelation(rows, 3, 100)
+		base := FromColumn(rel.Column(0), rel.Cardinality(0))
+		keys := [][]int32{rel.Column(1), rel.Column(2)}
+		cards := []int{rel.Cardinality(1), rel.Cardinality(2)}
+		sc := NewScratch()
+		b.Run(fmt.Sprintf("kernel/rows=%d", rows), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				base.CheckUnique(keys, cards, sc)
+			}
+		})
+		b.Run(fmt.Sprintf("materialize/rows=%d", rows), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				pli := base
+				for k, col := range keys {
+					pli = pli.IntersectColumn(col, cards[k])
+				}
+				_ = pli.IsUnique()
+			}
+		})
+	}
+}
+
+// BenchmarkCheckRefines measures the early-exit FD kernel against the
+// materializing IntersectColumn + Refines path it replaces.
+func BenchmarkCheckRefines(b *testing.B) {
+	for _, rows := range benchSizes {
+		rel := benchRelation(rows, 4, 100)
+		base := FromColumn(rel.Column(0), rel.Cardinality(0))
+		keys := [][]int32{rel.Column(1)}
+		cards := []int{rel.Cardinality(1)}
+		rhs := rel.Column(2)
+		sc := NewScratch()
+		b.Run(fmt.Sprintf("kernel/rows=%d", rows), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				base.CheckRefines(rhs, keys, cards, sc)
+			}
+		})
+		b.Run(fmt.Sprintf("materialize/rows=%d", rows), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				base.IntersectColumn(keys[0], cards[0]).Refines(rhs)
+			}
+		})
+	}
+}
+
+// BenchmarkCheckRefinesMany measures TANE's batched per-level RHS sweep:
+// one fold answering every candidate at once vs materializing the lhs PLI
+// and running RefinesEach over it.
+func BenchmarkCheckRefinesMany(b *testing.B) {
+	rel := benchRelation(50000, 6, 100)
+	base := FromColumn(rel.Column(0), rel.Cardinality(0))
+	keys := [][]int32{rel.Column(1)}
+	cards := []int{rel.Cardinality(1)}
+	cands := [][]int32{rel.Column(2), rel.Column(3), rel.Column(4), rel.Column(5)}
+	ok := make([]bool, len(cands))
+	sc := NewScratch()
+	b.Run("kernel", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			base.CheckRefinesMany(cands, keys, cards, ok, sc)
+		}
+	})
+	b.Run("materialize", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			base.IntersectColumn(keys[0], cards[0]).RefinesEach(cands)
+		}
+	})
+}
+
+// BenchmarkProviderIsUnique measures the full provider fast path (plan +
+// kernel) on uncached sets, the per-probe cost of a DUCC walk step.
+func BenchmarkProviderIsUnique(b *testing.B) {
+	rel := benchRelation(20000, 6, 50)
+	p := NewProvider(rel, 0)
+	sets := []bitset.Set{
+		bitset.New(0, 1), bitset.New(1, 2, 3), bitset.New(0, 2, 4), bitset.New(3, 4, 5),
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.IsUnique(sets[i%len(sets)])
+	}
+}
+
 // BenchmarkProviderGet measures cached multi-column PLI retrieval.
 func BenchmarkProviderGet(b *testing.B) {
 	rel := benchRelation(20000, 6, 50)

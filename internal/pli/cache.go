@@ -55,6 +55,22 @@ type CacheStats struct {
 	// Intersections counts the column intersections the Provider performed —
 	// the work the cache exists to avoid.
 	Intersections int64 `json:"intersections"`
+	// FastChecks counts validation questions (IsUnique, CheckFD, CheckFDs
+	// per candidate, Cardinality) answered by the non-materializing check
+	// kernels — no intersection PLI was built or cached for them.
+	FastChecks int64 `json:"fast_checks"`
+	// Materializations counts the PLIs the fast path chose to build and
+	// admit to the cache: refuted IsUnique probes (whose survivors fall out
+	// of the verdict fold and serve as stepping stones for later probes)
+	// plus doorkeeper-gated intermediate promotions on deep plans. It is
+	// the admission-controlled complement of FastChecks:
+	// FastChecks / (FastChecks + Materializations) is the fast-check hit
+	// rate of a validation-dominated run.
+	Materializations int64 `json:"materializations"`
+	// SampledRefutations counts questions settled negatively by the
+	// deterministic stride-sample prefilter alone, before any exact check
+	// ran (see Provider.WithSampleCheck).
+	SampledRefutations int64 `json:"sampled_refutations,omitempty"`
 }
 
 // MapCache is the default Cache: a bounded map with a cheap random-replacement

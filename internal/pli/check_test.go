@@ -1,0 +1,430 @@
+package pli
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sort"
+	"sync"
+	"testing"
+
+	"holistic/internal/bitset"
+	"holistic/internal/relation"
+)
+
+// chainIntersect materialises base ∩ keys[0] ∩ … the reference way, one
+// IntersectColumn per key. It is the oracle the check kernels must agree
+// with.
+func chainIntersect(base *PLI, keys [][]int32, cards []int) *PLI {
+	out := base
+	for i, col := range keys {
+		out = out.IntersectColumn(col, cards[i])
+	}
+	return out
+}
+
+// checkRelation builds a small random relation for kernel tests: nCols
+// columns of the given cardinality, plus helpers to slice keys out of it.
+func checkRelation(t testing.TB, rows, nCols, card int, seed int64) *relation.Relation {
+	t.Helper()
+	rnd := rand.New(rand.NewSource(seed))
+	names := make([]string, nCols)
+	for c := range names {
+		names[c] = fmt.Sprintf("c%d", c)
+	}
+	data := make([][]string, rows)
+	for r := range data {
+		row := make([]string, nCols)
+		for c := range row {
+			row[c] = fmt.Sprint(rnd.Intn(card))
+		}
+		data[r] = row
+	}
+	return relation.MustNew("check", names, data)
+}
+
+// refCheckFDs is the materializing reference for Provider.CheckFDs: RHS
+// verdicts read directly off the Get-built PLI.
+func refCheckFDs(ref *Provider, s bitset.Set, rhs bitset.Set) bitset.Set {
+	valid := rhs.Intersect(s)
+	pli := ref.Get(s)
+	for a := rhs.Diff(s).First(); a >= 0; a = rhs.Diff(s).NextAfter(a) {
+		if pli.Refines(ref.Relation().Column(a)) {
+			valid = valid.With(a)
+		}
+	}
+	return valid
+}
+
+func relKeys(rel *relation.Relation, cols ...int) ([][]int32, []int) {
+	keys := make([][]int32, len(cols))
+	cards := make([]int, len(cols))
+	for i, c := range cols {
+		keys[i] = rel.Column(c)
+		cards[i] = rel.Cardinality(c)
+	}
+	return keys, cards
+}
+
+// TestCheckKernelsAgainstChain drives every kernel against the materializing
+// chain on a grid of shapes, including zero keys, unique bases, and fold
+// depths past the ping-pong buffer swap.
+func TestCheckKernelsAgainstChain(t *testing.T) {
+	shapes := []struct{ rows, nCols, card int }{
+		{0, 3, 4}, {1, 3, 4}, {50, 3, 3}, {200, 4, 2},
+		{200, 4, 7}, {500, 5, 5}, {300, 5, 17},
+	}
+	for _, sh := range shapes {
+		rel := checkRelation(t, sh.rows, sh.nCols, sh.card, int64(sh.rows*31+sh.nCols))
+		base := FromColumn(rel.Column(0), rel.Cardinality(0))
+		for depth := 0; depth < sh.nCols; depth++ {
+			foldCols := make([]int, 0, depth)
+			for c := 1; c <= depth; c++ {
+				foldCols = append(foldCols, c)
+			}
+			keys, cards := relKeys(rel, foldCols...)
+			ref := chainIntersect(base, keys, cards)
+
+			if got, want := base.CheckUnique(keys, cards, nil), ref.IsUnique(); got != want {
+				t.Errorf("%+v depth %d: CheckUnique = %v, want %v", sh, depth, got, want)
+			}
+			if got, want := base.CheckErrorSum(keys, cards, nil), ref.ErrorSum(); got != want {
+				t.Errorf("%+v depth %d: CheckErrorSum = %d, want %d", sh, depth, got, want)
+			}
+			for rhs := 0; rhs < sh.nCols; rhs++ {
+				col := rel.Column(rhs)
+				if got, want := base.CheckRefines(col, keys, cards, nil), ref.Refines(col); got != want {
+					t.Errorf("%+v depth %d rhs %d: CheckRefines = %v, want %v", sh, depth, rhs, got, want)
+				}
+			}
+			// Batched flavour, with one slot nil-skipped.
+			cands := make([][]int32, sh.nCols)
+			for c := range cands {
+				cands[c] = rel.Column(c)
+			}
+			cands[sh.nCols-1] = nil
+			ok := make([]bool, len(cands))
+			base.CheckRefinesMany(cands, keys, cards, ok, nil)
+			if want := ref.RefinesEach(cands); !reflect.DeepEqual(ok, want) {
+				t.Errorf("%+v depth %d: CheckRefinesMany = %v, want %v", sh, depth, ok, want)
+			}
+			// Group enumeration must match the materialised clusters.
+			var groups [][]int32
+			base.ForEachFoldedGroup(keys, cards, nil, func(g []int32) bool {
+				groups = append(groups, append([]int32(nil), g...))
+				return true
+			})
+			var want [][]int32
+			ref.ForEachCluster(func(c []int32) {
+				want = append(want, append([]int32(nil), c...))
+			})
+			if !reflect.DeepEqual(groups, want) {
+				t.Errorf("%+v depth %d: folded groups diverge (%d vs %d groups)", sh, depth, len(groups), len(want))
+			}
+		}
+	}
+}
+
+// TestProviderFastPathsAgainstGet compares every Provider fast path with the
+// materializing Get reference over all column subsets of a small relation —
+// on the same provider (fast first, then Get, so promotions are in play) and
+// across admission states.
+func TestProviderFastPathsAgainstGet(t *testing.T) {
+	rel := checkRelation(t, 300, 5, 4, 7)
+	fast := NewProvider(rel, 0)
+	ref := NewProvider(rel, 0)
+
+	n := rel.NumColumns()
+	var sets []bitset.Set
+	for m := 1; m < 1<<n; m++ {
+		var s bitset.Set
+		for c := 0; c < n; c++ {
+			if m&(1<<c) != 0 {
+				s = s.With(c)
+			}
+		}
+		sets = append(sets, s)
+	}
+	// Shuffle so plan() sees sets in DUCC-like non-ascending order.
+	rnd := rand.New(rand.NewSource(3))
+	rnd.Shuffle(len(sets), func(i, j int) { sets[i], sets[j] = sets[j], sets[i] })
+
+	for _, s := range sets {
+		refPLI := ref.Get(s)
+		if got, want := fast.IsUnique(s), refPLI.IsUnique(); got != want {
+			t.Fatalf("IsUnique(%v) = %v, want %v", s, got, want)
+		}
+		if got, want := fast.Cardinality(s), refPLI.DistinctCount(); got != want {
+			t.Fatalf("Cardinality(%v) = %d, want %d", s, got, want)
+		}
+		for a := 0; a < n; a++ {
+			if got, want := fast.CheckFD(s, a), s.Has(a) || refPLI.Refines(rel.Column(a)); got != want {
+				t.Fatalf("CheckFD(%v, %d) = %v, want %v", s, a, got, want)
+			}
+		}
+		if got, want := fast.CheckFDs(s, rel.AllColumns()), refCheckFDs(ref, s, rel.AllColumns()); got != want {
+			t.Fatalf("CheckFDs(%v) = %v, want %v", s, got, want)
+		}
+		var clusters [][]int32
+		fast.ForEachCluster(s, func(c []int32) bool {
+			cc := append([]int32(nil), c...)
+			sort.Slice(cc, func(i, j int) bool { return cc[i] < cc[j] })
+			clusters = append(clusters, cc)
+			return true
+		})
+		sort.Slice(clusters, func(i, j int) bool { return clusters[i][0] < clusters[j][0] })
+		if want := canon(refPLI); !reflect.DeepEqual(clusters, want) {
+			t.Fatalf("ForEachCluster(%v) diverges", s)
+		}
+	}
+
+	st := fast.CacheStats()
+	if st.FastChecks == 0 {
+		t.Error("fast provider reports zero FastChecks")
+	}
+	// Admission control: the fast provider must have admitted strictly fewer
+	// entries than Get's cache-every-set policy.
+	if fast.CachedEntries() >= ref.CachedEntries() {
+		t.Errorf("fast path admitted %d entries, reference Get %d — admission control ineffective",
+			fast.CachedEntries(), ref.CachedEntries())
+	}
+}
+
+// TestSampledPrefilterEquivalence forces sampling on a small relation (the
+// production threshold would disable it) and proves the sampled fast paths
+// agree with the unsampled reference on every subset: sampled refutations
+// are sound, sampled positives always fall through to the exact check.
+func TestSampledPrefilterEquivalence(t *testing.T) {
+	for _, stride := range []int{2, 4, 8} {
+		rel := checkRelation(t, 400, 5, 3, int64(stride))
+		sampled := NewProvider(rel, 0)
+		sampled.enableSampling(stride)
+		ref := NewProvider(rel, 0)
+
+		n := rel.NumColumns()
+		for m := 1; m < 1<<n; m++ {
+			var s bitset.Set
+			for c := 0; c < n; c++ {
+				if m&(1<<c) != 0 {
+					s = s.With(c)
+				}
+			}
+			refPLI := ref.Get(s)
+			if got, want := sampled.IsUnique(s), refPLI.IsUnique(); got != want {
+				t.Fatalf("stride %d: IsUnique(%v) = %v, want %v", stride, s, got, want)
+			}
+			for a := 0; a < n; a++ {
+				if got, want := sampled.CheckFD(s, a), s.Has(a) || refPLI.Refines(rel.Column(a)); got != want {
+					t.Fatalf("stride %d: CheckFD(%v, %d) = %v, want %v", stride, s, a, got, want)
+				}
+			}
+			if got, want := sampled.CheckFDs(s, rel.AllColumns()), refCheckFDs(ref, s, rel.AllColumns()); got != want {
+				t.Fatalf("stride %d: CheckFDs(%v) = %v, want %v", stride, s, got, want)
+			}
+		}
+		if sampled.CacheStats().SampledRefutations == 0 {
+			t.Errorf("stride %d: prefilter never refuted anything on a 3-ary relation", stride)
+		}
+	}
+}
+
+// TestWithSampleCheckThreshold pins the production stride selection: small
+// relations stay unsampled, large ones get a power-of-two stride that keeps
+// the sample near the target size.
+func TestWithSampleCheckThreshold(t *testing.T) {
+	small := NewProvider(checkRelation(t, 500, 2, 3, 1), 0).WithSampleCheck(true)
+	if small.sampleMask != 0 {
+		t.Errorf("500-row relation got sampling (mask %d), want disabled below threshold", small.sampleMask)
+	}
+	// High-cardinality columns keep the 100k rows distinct through the
+	// relation layer's duplicate-row removal.
+	bigRel := checkRelation(t, 100000, 3, 1000, 1)
+	big := NewProvider(bigRel, 0).WithSampleCheck(true)
+	if big.sampleMask == 0 {
+		t.Fatalf("%d-row relation did not arm sampling", bigRel.NumRows())
+	}
+	stride := int(big.sampleMask) + 1
+	if stride&(stride-1) != 0 || stride < sampleMinStride {
+		t.Errorf("stride = %d, want power of two >= %d", stride, sampleMinStride)
+	}
+	sampleRows := bigRel.NumRows() / stride
+	if sampleRows < sampleTargetRows || sampleRows >= 4*sampleTargetRows {
+		t.Errorf("sample holds %d rows, want near %d", sampleRows, sampleTargetRows)
+	}
+	if off := big.WithSampleCheck(false); off.sampleMask != 0 || off.sampledSingle != nil {
+		t.Error("WithSampleCheck(false) did not disarm the prefilter")
+	}
+}
+
+// TestConcurrentFastChecks hammers the fast paths of one shared provider
+// from many goroutines (run under -race by verify.sh): pooled scratches,
+// atomic counters, and promotion admissions into the sharded cache must not
+// race, and every goroutine must see the same verdicts.
+func TestConcurrentFastChecks(t *testing.T) {
+	rel := checkRelation(t, 2000, 6, 5, 11)
+	p := NewConcurrentProvider(rel, 0, 8)
+	ref := NewProvider(rel, 0)
+
+	n := rel.NumColumns()
+	var sets []bitset.Set
+	wantUnique := make(map[bitset.Set]bool)
+	wantCard := make(map[bitset.Set]int)
+	wantRefines := make(map[bitset.Set][]bool)
+	for m := 1; m < 1<<n; m++ {
+		var s bitset.Set
+		for c := 0; c < n; c++ {
+			if m&(1<<c) != 0 {
+				s = s.With(c)
+			}
+		}
+		sets = append(sets, s)
+		pli := ref.Get(s)
+		wantUnique[s] = pli.IsUnique()
+		wantCard[s] = pli.DistinctCount()
+		refines := make([]bool, n)
+		for a := 0; a < n; a++ {
+			refines[a] = pli.Refines(rel.Column(a))
+		}
+		wantRefines[s] = refines
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan string, 16)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rnd := rand.New(rand.NewSource(int64(g)))
+			for iter := 0; iter < 3; iter++ {
+				for _, i := range rnd.Perm(len(sets)) {
+					s := sets[i]
+					if p.IsUnique(s) != wantUnique[s] {
+						errs <- fmt.Sprintf("IsUnique(%v) diverged", s)
+						return
+					}
+					if p.Cardinality(s) != wantCard[s] {
+						errs <- fmt.Sprintf("Cardinality(%v) diverged", s)
+						return
+					}
+					a := rnd.Intn(n)
+					want := s.Has(a) || wantRefines[s][a]
+					if p.CheckFD(s, a) != want {
+						errs <- fmt.Sprintf("CheckFD(%v, %d) diverged", s, a)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Fatal(e)
+	}
+}
+
+// FuzzCheckEquivalence differentially fuzzes the check kernels and Provider
+// fast paths against the materializing reference on arbitrary relations: the
+// fold kernel (every base column, every fold depth), the batched RHS sweep,
+// and the sampled prefilter at stride 2 must all agree with chained
+// IntersectColumn materialization.
+func FuzzCheckEquivalence(f *testing.F) {
+	f.Add([]byte{2, 3, 0, 1, 1, 0, 2, 2, 0, 1, 1, 0})
+	f.Add([]byte{0, 0})
+	f.Add([]byte{3, 1, 9, 9, 9, 9, 9, 9})
+	f.Add([]byte{1, 7, 0, 1, 2, 3, 4, 5, 6, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		cols, card := fuzzRelation(data)
+		cards := make([]int, len(cols))
+		for i := range cards {
+			cards[i] = card
+		}
+		for b := range cols {
+			base := FromColumn(cols[b], card)
+			keys := make([][]int32, 0, len(cols)-1)
+			keyCards := make([]int, 0, len(cols)-1)
+			for c := range cols {
+				if c == b {
+					continue
+				}
+				keys = append(keys, cols[c])
+				keyCards = append(keyCards, card)
+				ref := chainIntersect(base, keys, keyCards)
+				if base.CheckUnique(keys, keyCards, nil) != ref.IsUnique() {
+					t.Fatalf("CheckUnique(base %d, %d keys) diverges", b, len(keys))
+				}
+				if base.CheckErrorSum(keys, keyCards, nil) != ref.ErrorSum() {
+					t.Fatalf("CheckErrorSum(base %d, %d keys) diverges", b, len(keys))
+				}
+				for rhs := range cols {
+					if base.CheckRefines(cols[rhs], keys, keyCards, nil) != ref.Refines(cols[rhs]) {
+						t.Fatalf("CheckRefines(base %d, %d keys, rhs %d) diverges", b, len(keys), rhs)
+					}
+				}
+				ok := make([]bool, len(cols))
+				base.CheckRefinesMany(cols, keys, keyCards, ok, nil)
+				if want := ref.RefinesEach(cols); !reflect.DeepEqual(ok, want) {
+					t.Fatalf("CheckRefinesMany(base %d, %d keys) = %v, want %v", b, len(keys), ok, want)
+				}
+				var groups [][]int32
+				base.ForEachFoldedGroup(keys, keyCards, nil, func(g []int32) bool {
+					groups = append(groups, append([]int32(nil), g...))
+					return true
+				})
+				var want [][]int32
+				ref.ForEachCluster(func(c []int32) {
+					want = append(want, append([]int32(nil), c...))
+				})
+				if !reflect.DeepEqual(groups, want) {
+					t.Fatalf("folded groups of base %d with %d keys diverge", b, len(keys))
+				}
+			}
+		}
+		if len(cols[0]) == 0 {
+			return
+		}
+		// Provider fast paths (with forced sampling) vs Get on a fresh pair.
+		rel := fuzzToRelation(t, cols, card)
+		fast := NewProvider(rel, 0)
+		fast.enableSampling(2)
+		ref := NewProvider(rel, 0)
+		n := rel.NumColumns()
+		for m := 1; m < 1<<n; m++ {
+			var s bitset.Set
+			for c := 0; c < n; c++ {
+				if m&(1<<c) != 0 {
+					s = s.With(c)
+				}
+			}
+			refPLI := ref.Get(s)
+			if fast.IsUnique(s) != refPLI.IsUnique() {
+				t.Fatalf("Provider.IsUnique(%v) diverges", s)
+			}
+			if fast.Cardinality(s) != refPLI.DistinctCount() {
+				t.Fatalf("Provider.Cardinality(%v) diverges", s)
+			}
+			if got, want := fast.CheckFDs(s, rel.AllColumns()), refCheckFDs(ref, s, rel.AllColumns()); got != want {
+				t.Fatalf("Provider.CheckFDs(%v) = %v, want %v", s, got, want)
+			}
+		}
+	})
+}
+
+// fuzzToRelation lifts the fuzz columns into a relation so Provider paths
+// (which need column names and cardinalities) can run on them.
+func fuzzToRelation(t *testing.T, cols [][]int32, card int) *relation.Relation {
+	t.Helper()
+	names := make([]string, len(cols))
+	for c := range names {
+		names[c] = fmt.Sprintf("c%d", c)
+	}
+	rows := make([][]string, len(cols[0]))
+	for r := range rows {
+		row := make([]string, len(cols))
+		for c := range row {
+			row[c] = fmt.Sprint(cols[c][r])
+		}
+		rows[r] = row
+	}
+	return relation.MustNew("fuzz", names, rows)
+}

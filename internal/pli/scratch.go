@@ -30,6 +30,33 @@ type Scratch struct {
 	counts  []int32 // per-key occurrence counts within the current cluster
 	starts  []int32 // per-key write cursors into the output row array
 	touched []int32 // keys dirtied by the current cluster (bounds the reset)
+
+	// Fold buffers of the non-materializing check kernels (see check.go):
+	// two ping-pong row arrays plus matching group-offset arrays, sized to
+	// the largest cluster of the base PLI. The kernels refine one cluster at
+	// a time, so the buffers never need to hold more than one cluster.
+	foldRows [2][]int32
+	foldOffs [2][]int32
+
+	// Column-slot buffers of the Provider fast paths: key columns and
+	// cardinalities of the fold plan, candidate RHS columns and their
+	// verdicts for CheckFDs, the compact active list of CheckRefinesMany,
+	// and the fold-plan column indexes. They live on the Scratch so the
+	// validation hot loops (TANE's per-level sweep, the DUCC walk) allocate
+	// nothing per check; the usual Scratch ownership contract applies.
+	keyCols  [][]int32
+	keyCards []int
+	rhsCols  [][]int32
+	okBuf    []bool
+	active   []int32
+	foldCols []int
+
+	// work accumulates the base rows scanned by the check kernels since the
+	// caller last reset it. The Provider's adaptive admission reads it after
+	// a refuted check: a refutation that had to scan a large share of the
+	// base marks a near-boundary set whose materialisation will pay for
+	// itself (see Provider.IsUnique).
+	work int
 }
 
 // NewScratch returns an empty Scratch; its arenas grow on demand.
@@ -47,6 +74,56 @@ func (s *Scratch) ensure(keyRange int) {
 // Ensure pre-sizes the arenas for keys in [0, keyRange), so a worker-slot
 // Scratch sized once to the relation's maximum cardinality never regrows.
 func (s *Scratch) Ensure(keyRange int) { s.ensure(keyRange) }
+
+// ensureFold grows the ping-pong fold buffers to hold one cluster of up to
+// maxCluster rows. A generation of groups over n rows has at most n/2
+// surviving groups (every group has size >= 2), bounding the offset arrays.
+func (s *Scratch) ensureFold(maxCluster int) {
+	if len(s.foldRows[0]) >= maxCluster {
+		return
+	}
+	for i := range s.foldRows {
+		s.foldRows[i] = make([]int32, maxCluster)
+		s.foldOffs[i] = make([]int32, 0, maxCluster/2+2)
+	}
+}
+
+// keySlots returns n reusable (column, cardinality) slots for fold keys.
+func (s *Scratch) keySlots(n int) ([][]int32, []int) {
+	if cap(s.keyCols) < n {
+		s.keyCols = make([][]int32, n)
+		s.keyCards = make([]int, n)
+	}
+	return s.keyCols[:n], s.keyCards[:n]
+}
+
+// rhsSlots returns n reusable candidate-column slots plus a verdict buffer.
+func (s *Scratch) rhsSlots(n int) ([][]int32, []bool) {
+	if cap(s.rhsCols) < n {
+		s.rhsCols = make([][]int32, n)
+	}
+	if cap(s.okBuf) < n {
+		s.okBuf = make([]bool, n)
+	}
+	return s.rhsCols[:n], s.okBuf[:n]
+}
+
+// activeSlots returns an n-capacity buffer for CheckRefinesMany's compact
+// active-candidate list.
+func (s *Scratch) activeSlots(n int) []int32 {
+	if cap(s.active) < n {
+		s.active = make([]int32, n)
+	}
+	return s.active[:0]
+}
+
+// foldColSlots returns a zero-length buffer for fold-plan column indexes.
+func (s *Scratch) foldColSlots(n int) []int {
+	if cap(s.foldCols) < n {
+		s.foldCols = make([]int, 0, n)
+	}
+	return s.foldCols[:0]
+}
 
 var scratchPool = sync.Pool{New: func() any { return NewScratch() }}
 

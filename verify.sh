@@ -31,8 +31,17 @@ go test -run='^$' -fuzz='^FuzzReadCSV$' -fuzztime=10s ./internal/relation/
 echo "== PLI differential fuzz smoke (flat layout vs reference) =="
 go test -run='^$' -fuzz='^FuzzPLIEquivalence$' -fuzztime=10s ./internal/pli/
 
+echo "== check-kernel differential fuzz smoke (fast path vs materializing) =="
+go test -run='^$' -fuzz='^FuzzCheckEquivalence$' -fuzztime=10s ./internal/pli/
+
 echo "== PLI bench smoke (compile + one iteration) =="
-go test -run='^$' -bench 'Intersect' -benchtime=1x ./internal/pli/
+go test -run='^$' -bench 'Intersect|Check' -benchtime=1x ./internal/pli/
+
+echo "== fast-path config equivalence (race) =="
+go test -race -count=1 -run 'TestFastPathConfigEquivalence' ./internal/core/
+
+echo "== validation bench smoke (5k rows) =="
+go run ./cmd/experiments -validate -validate-rows 5000 -validate-json ''
 
 echo "== chaos suite (fault injection, race) =="
 go test -race -count=1 -run 'TestChaos|TestJobDeadlinePartialResult' ./internal/server/

@@ -4,16 +4,21 @@
 // Usage:
 //
 //	datagen -list
-//	datagen [-rows N] [-cols N] [-o out.csv] <dataset>
+//	datagen [-rows N] [-cols N] [-seed N] [-o out.csv] <dataset>
 //
 // where <dataset> is uniprot, ionosphere, ncvoter, or a UCI name (iris,
 // balance, chess, abalone, nursery, b-cancer, bridges, echocard, adult,
 // letter, hepatitis).
+//
+// Output is deterministic: the same dataset, flags and seed always produce
+// byte-identical CSV (0 keeps each dataset's canonical seed, so plain runs
+// are reproducible too).
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"holistic/internal/dataset"
@@ -21,57 +26,64 @@ import (
 )
 
 func main() {
-	var (
-		rows = flag.Int("rows", 0, "row count (uniprot/ncvoter/ionosphere; 0 = default)")
-		cols = flag.Int("cols", 0, "column count (ionosphere/ncvoter; 0 = default)")
-		out  = flag.String("o", "", "output file (default stdout)")
-		list = flag.Bool("list", false, "list available datasets and exit")
-	)
-	flag.Parse()
-
-	if *list {
-		fmt.Println("uniprot    (rows configurable; 10 columns)")
-		fmt.Println("ionosphere (cols/rows configurable; default 34 × 351)")
-		fmt.Println("ncvoter    (rows/cols configurable; default 10000 × 20)")
-		for _, i := range dataset.UCITable() {
-			fmt.Printf("%-10s (%d columns × %d rows, Table 3)\n", i.Name, i.Cols, i.Rows)
-		}
-		return
-	}
-	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: datagen [flags] <dataset>   (datagen -list shows the choices)")
-		os.Exit(2)
-	}
-
-	rel, err := generate(flag.Arg(0), *rows, *cols)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "datagen:", err)
-		os.Exit(1)
-	}
-
-	w := os.Stdout
-	if *out != "" {
-		f, err := os.Create(*out)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "datagen:", err)
-			os.Exit(1)
-		}
-		defer f.Close()
-		w = f
-	}
-	if err := rel.WriteCSV(w); err != nil {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "datagen:", err)
 		os.Exit(1)
 	}
 }
 
-func generate(name string, rows, cols int) (*relation.Relation, error) {
+// run executes the whole command against args, writing CSV to stdout (or the
+// -o file). A fresh FlagSet keeps it callable more than once in one process.
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("datagen", flag.ContinueOnError)
+	var (
+		rows = fs.Int("rows", 0, "row count (uniprot/ncvoter/ionosphere; 0 = default)")
+		cols = fs.Int("cols", 0, "column count (ionosphere/ncvoter; 0 = default)")
+		seed = fs.Int64("seed", 0, "generator seed (0 = the dataset's canonical seed; same seed and flags give byte-identical output)")
+		out  = fs.String("o", "", "output file (default stdout)")
+		list = fs.Bool("list", false, "list available datasets and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *list {
+		fmt.Fprintln(stdout, "uniprot    (rows configurable; 10 columns)")
+		fmt.Fprintln(stdout, "ionosphere (cols/rows configurable; default 34 × 351)")
+		fmt.Fprintln(stdout, "ncvoter    (rows/cols configurable; default 10000 × 20)")
+		for _, i := range dataset.UCITable() {
+			fmt.Fprintf(stdout, "%-10s (%d columns × %d rows, Table 3)\n", i.Name, i.Cols, i.Rows)
+		}
+		return nil
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: datagen [flags] <dataset>   (datagen -list shows the choices)")
+	}
+
+	rel, err := generate(fs.Arg(0), *rows, *cols, *seed)
+	if err != nil {
+		return err
+	}
+
+	w := stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	return rel.WriteCSV(w)
+}
+
+func generate(name string, rows, cols int, seed int64) (*relation.Relation, error) {
 	switch name {
 	case "uniprot":
 		if rows <= 0 {
 			rows = 50000
 		}
-		return dataset.Uniprot(rows), nil
+		return dataset.UniprotSeeded(rows, seed), nil
 	case "ionosphere":
 		if cols <= 0 {
 			cols = 34
@@ -79,7 +91,7 @@ func generate(name string, rows, cols int) (*relation.Relation, error) {
 		if rows <= 0 {
 			rows = 351
 		}
-		return dataset.Ionosphere(cols, rows), nil
+		return dataset.IonosphereSeeded(cols, rows, seed), nil
 	case "ncvoter":
 		if rows <= 0 {
 			rows = 10000
@@ -87,8 +99,8 @@ func generate(name string, rows, cols int) (*relation.Relation, error) {
 		if cols <= 0 {
 			cols = 20
 		}
-		return dataset.NCVoter(rows, cols), nil
+		return dataset.NCVoterSeeded(rows, cols, seed), nil
 	default:
-		return dataset.UCI(name)
+		return dataset.UCISeeded(name, seed)
 	}
 }

@@ -4,7 +4,7 @@
 // Usage:
 //
 //	experiments [-fig6] [-fig7] [-table3] [-fig8] [-sweep] [-parallel] [-pli]
-//	            [-validate] [-all] [-scale f] [-full] [-seed n]
+//	            [-validate] [-incremental] [-all] [-scale f] [-full] [-seed n]
 //
 // By default every experiment runs at a reduced scale that finishes in a few
 // minutes; -full selects the paper-scale parameters (expect long runtimes,
@@ -33,12 +33,15 @@ func main() {
 		valB    = flag.Bool("validate", false, "validation fast-path benchmark (writes BENCH_validate.json)")
 		valJSON = flag.String("validate-json", "BENCH_validate.json", "output path of the -validate measurements (empty = no file)")
 		valRows = flag.Int("validate-rows", 100000, "row count of the -validate generators")
+		incB    = flag.Bool("incremental", false, "incremental batch-append benchmark (writes BENCH_incremental.json)")
+		incJSON = flag.String("incremental-json", "BENCH_incremental.json", "output path of the -incremental measurements (empty = no file)")
+		incRows = flag.Int("incremental-rows", 100000, "row count of the -incremental generators")
 		all     = flag.Bool("all", false, "run every experiment")
 		full    = flag.Bool("full", false, "paper-scale parameters (slow)")
 		seed    = flag.Int64("seed", 1, "random-walk seed")
 	)
 	flag.Parse()
-	if !(*fig6 || *fig7 || *table3 || *fig8 || *sweep || *par || *pliB || *valB || *all) {
+	if !(*fig6 || *fig7 || *table3 || *fig8 || *sweep || *par || *pliB || *valB || *incB || *all) {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -107,6 +110,11 @@ func main() {
 	}
 	if *all || *valB {
 		_, err := experiments.ValidateBench(w, *valJSON, *valRows, *seed)
+		fail(err)
+		fmt.Fprintln(w)
+	}
+	if *all || *incB {
+		_, err := experiments.IncrementalBench(w, *incJSON, *incRows, *seed)
 		fail(err)
 		fmt.Fprintln(w)
 	}

@@ -1,0 +1,121 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"holistic/internal/core"
+	"holistic/internal/incremental"
+	"holistic/internal/relation"
+)
+
+// incrementalOptions carries the CLI surface of the -append/-snapshot flow.
+type incrementalOptions struct {
+	appendCSV string // batch CSV to fold in after (or instead of) the initial profile
+	snapPath  string // snapshot file to resume from / write back
+	sep       rune
+	noHeader  bool
+	format    string
+}
+
+// runIncremental implements the incremental CLI paths:
+//
+//   - -snapshot only: full profile of the input, snapshot written.
+//   - -append only: full profile of the input, then the batch folded in
+//     incrementally (one process, no persistence).
+//   - -snapshot (existing) + -append: the expensive discovery run is skipped
+//     entirely — the input is loaded, the snapshot's metadata revalidated
+//     against the appended batch, and the updated snapshot written back.
+func runIncremental(ctx context.Context, src *core.MemoSource, algorithm string, opts core.Options, inc incrementalOptions, out io.Writer, text textOptions) error {
+	rel, err := src.Load()
+	if err != nil {
+		return err
+	}
+
+	var p *incremental.Profiler
+	if inc.snapPath != "" {
+		if _, statErr := os.Stat(inc.snapPath); statErr == nil {
+			snap, err := incremental.ReadSnapshotFile(inc.snapPath)
+			if err != nil {
+				return err
+			}
+			if snap.Algorithm != algorithm {
+				return fmt.Errorf("snapshot %s was produced by -algorithm %s, run requested %s", inc.snapPath, snap.Algorithm, algorithm)
+			}
+			if p, err = incremental.Resume(rel, snap, opts); err != nil {
+				return err
+			}
+		} else if !os.IsNotExist(statErr) {
+			return statErr
+		}
+	}
+	if p == nil {
+		if p, _, err = incremental.NewProfiler(ctx, rel, algorithm, opts, nil); err != nil {
+			return err
+		}
+	}
+
+	res := p.Result()
+	if inc.appendCSV != "" {
+		batchHeader, batch, err := readBatch(inc.appendCSV, inc.sep, inc.noHeader)
+		if err != nil {
+			return err
+		}
+		if err := matchesSchema(rel, batchHeader, inc.noHeader); err != nil {
+			return err
+		}
+		if res, err = p.AppendBatch(ctx, batch, nil); err != nil {
+			return err
+		}
+	}
+
+	if inc.snapPath != "" {
+		if err := p.Snapshot().WriteFile(inc.snapPath); err != nil {
+			return fmt.Errorf("write snapshot: %w", err)
+		}
+	}
+
+	if inc.format == "json" {
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		return enc.Encode(core.NewReport(rel, res, text.withStats))
+	}
+	return printText(out, rel, res, text)
+}
+
+// readBatch reads the rows of a batch CSV with the run's separator and header
+// settings.
+func readBatch(path string, sep rune, noHeader bool) ([]string, [][]string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	header, rows, err := relation.ReadCSVRows(path, f, relation.CSVOptions{
+		Comma:     sep,
+		HasHeader: !noHeader,
+	})
+	return header, rows, err
+}
+
+// matchesSchema rejects a batch whose header names a different schema than
+// the profiled relation. Headerless batches only need the right arity (the
+// row-width check happens in Append).
+func matchesSchema(rel *relation.Relation, batchHeader []string, noHeader bool) error {
+	if noHeader {
+		return nil
+	}
+	names := rel.ColumnNames()
+	if len(batchHeader) != len(names) {
+		return fmt.Errorf("batch has %d columns, relation has %d", len(batchHeader), len(names))
+	}
+	for i, name := range batchHeader {
+		if name != names[i] {
+			return fmt.Errorf("batch column %d is %q, relation has %q", i, name, names[i])
+		}
+	}
+	return nil
+}

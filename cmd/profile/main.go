@@ -74,6 +74,8 @@ func run(args []string, out io.Writer) error {
 		approxEps = flag.Float64("approx", 0, "also discover approximate FDs with g3 error ≤ eps (0 = off)")
 		asJSON    = flag.Bool("json", false, "deprecated alias for -format json")
 		sqlNulls  = flag.Bool("distinct-nulls", false, "SQL NULL semantics: empty fields compare unequal to each other")
+		appendCSV = flag.String("append", "", "CSV file of rows to append incrementally after profiling the input (revalidation instead of re-discovery)")
+		snapPath  = flag.String("snapshot", "", "profile snapshot file: resumed when it exists (with -append: skips the initial full profile), written/updated after the run")
 	)
 	flag.CommandLine.Parse(args)
 	if flag.NArg() != 1 {
@@ -118,7 +120,23 @@ func run(args []string, out io.Writer) error {
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
 	}
-	res, err := core.RunContext(ctx, *algorithm, src, core.Options{Seed: *seed, Workers: *workers, MaxCacheBytes: *cacheMax, SampleCheck: *sampleChk}, nil)
+	opts := core.Options{Seed: *seed, Workers: *workers, MaxCacheBytes: *cacheMax, SampleCheck: *sampleChk}
+	if *appendCSV != "" || *snapPath != "" {
+		return runIncremental(ctx, src, *algorithm, opts, incrementalOptions{
+			appendCSV: *appendCSV,
+			snapPath:  *snapPath,
+			sep:       rune((*sep)[0]),
+			noHeader:  *noHeader,
+			format:    *format,
+		}, out, textOptions{
+			algorithm: *algorithm,
+			nary:      *naryArity,
+			approxEps: *approxEps,
+			withStats: *withStats,
+			timings:   *timings,
+		})
+	}
+	res, err := core.RunContext(ctx, *algorithm, src, opts, nil)
 	// Anytime semantics: a deadline hit still prints the dependencies
 	// confirmed before the stop — marked partial — and exits non-zero.
 	timedOut := errors.Is(err, context.DeadlineExceeded) && res != nil

@@ -29,6 +29,7 @@ import (
 	"holistic/internal/bitset"
 	"holistic/internal/core"
 	"holistic/internal/fd"
+	"holistic/internal/incremental"
 	"holistic/internal/ind"
 	"holistic/internal/pli"
 	"holistic/internal/relation"
@@ -188,4 +189,54 @@ func ApproximateFDs(rel *Relation, eps float64, maxLHS int) []ApproxFD {
 // and NULL counts, extremes, frequent values) from the shared encoding.
 func Statistics(rel *Relation) []ColumnStats {
 	return stats.Profile(rel)
+}
+
+// Incremental profiling: delta-maintained metadata under appended row
+// batches (see the internal/incremental package).
+type (
+	// IncrementalProfiler is a warm incremental session: it owns the relation
+	// and a patched (never flushed) PLI provider, re-validates the prior
+	// metadata after each appended batch, and restarts the lattice walks only
+	// inside the invalidated region.
+	IncrementalProfiler = incremental.Profiler
+	// ProfileSnapshot is the serializable state of an incremental session,
+	// written and resumed by the CLI's -snapshot flag and the profiling
+	// service's dataset endpoints.
+	ProfileSnapshot = incremental.Snapshot
+)
+
+// NewIncrementalProfiler runs the named strategy on rel from scratch and
+// returns a warm profiler plus the initial result; use AppendBatch to fold in
+// later row batches.
+func NewIncrementalProfiler(ctx context.Context, rel *Relation, strategy string, opts Options, obs Observer) (*IncrementalProfiler, *Result, error) {
+	return incremental.NewProfiler(ctx, rel, strategy, opts, obs)
+}
+
+// ResumeIncrementalProfiler reconstructs a warm profiler from a relation and
+// a snapshot of a prior session without re-running discovery.
+func ResumeIncrementalProfiler(rel *Relation, snap *ProfileSnapshot, opts Options) (*IncrementalProfiler, error) {
+	return incremental.Resume(rel, snap, opts)
+}
+
+// ReadProfileSnapshot decodes a profile snapshot from a file.
+func ReadProfileSnapshot(path string) (*ProfileSnapshot, error) {
+	return incremental.ReadSnapshotFile(path)
+}
+
+// ProfileIncremental profiles rel with MUDS and then folds each batch in
+// sequence. The returned result equals a from-scratch profile of the
+// concatenated rows, computed at the incremental price: rel is extended in
+// place, PLIs are patched rather than rebuilt, and the lattice walks restart
+// only where a batch violated prior metadata.
+func ProfileIncremental(ctx context.Context, rel *Relation, batches [][][]string, opts Options) (*Result, error) {
+	p, res, err := incremental.NewProfiler(ctx, rel, core.StrategyMuds, opts, nil)
+	if err != nil {
+		return res, err
+	}
+	for _, batch := range batches {
+		if res, err = p.AppendBatch(ctx, batch, nil); err != nil {
+			return res, err
+		}
+	}
+	return res, nil
 }

@@ -63,11 +63,13 @@ func (o Options) cacheBudget() int64 {
 	}
 }
 
-// newProvider builds the PLI provider for one strategy run: sharded and
+// NewProvider builds the PLI provider for one strategy run: sharded and
 // concurrency-safe when the run fans out, the cheaper single-goroutine
 // MapCache when it stays sequential. Both are byte-budgeted (the memory
-// governor) per cacheBudget.
-func (o Options) newProvider(rel *relation.Relation) *pli.Provider {
+// governor) per cacheBudget. It is exported for the incremental layer, which
+// must construct providers with exactly the engine's cache and sampling
+// configuration so that patched and from-scratch runs are comparable.
+func (o Options) NewProvider(rel *relation.Relation) *pli.Provider {
 	var p *pli.Provider
 	if w := o.workerCount(); w > 1 {
 		p = pli.NewProviderWithCache(rel, pli.NewShardedCacheBudget(w, o.CacheEntries, o.cacheBudget()))
@@ -120,7 +122,7 @@ func mudsProfile(ctx context.Context, rel *relation.Relation, opts Options, obs 
 			return err
 		}
 		res.INDs = inds
-		p = opts.newProvider(rel)
+		p = opts.NewProvider(rel)
 		return nil
 	})
 	if err != nil {

@@ -101,3 +101,14 @@ const (
 	PhaseUCCDiscovery     = "uccDiscovery" // DUCC in the sequential baseline
 	PhaseUCCInference     = "uccInference" // Lemma-2 key derivation (fdfirst)
 )
+
+// Phase names of an incremental (batch-append) run. They partition the work
+// the same way Figure 8 partitions a full run: fold the batch into the data
+// structures, re-check the prior metadata, then repair only what broke.
+const (
+	PhaseAppend     = "append"     // relation extension + PLI patch + provider refresh
+	PhaseRevalidate = "revalidate" // re-check prior UCCs/FDs on the extended relation
+	PhaseUCCRepair  = "uccRepair"  // seeded DUCC restart over the invalidated region
+	PhaseFDRepair   = "fdRepair"   // per-RHS seeded lattice repair
+	PhaseINDDelta   = "indDelta"   // missing-matrix delta (or full SPIDER fallback)
+)

@@ -42,7 +42,7 @@ func hfunProfile(ctx context.Context, rel *relation.Relation, opts Options, obs 
 			return err
 		}
 		res.INDs = inds
-		p = opts.newProvider(rel)
+		p = opts.NewProvider(rel)
 		return nil
 	})
 	if err != nil {
@@ -118,7 +118,7 @@ func baselineProfile(ctx context.Context, rel *relation.Relation, opts Options, 
 	}
 	err = timePhase(ctx, obs, PhaseFDDiscovery, func() error {
 		obs.Parallelism(PhaseFDDiscovery, workers)
-		p := opts.newProvider(funRel)
+		p := opts.NewProvider(funRel)
 		defer func() { obs.CacheStats(p.CacheStats()) }()
 		r, err := fd.FunContext(ctx, p, workers)
 		res.FDs = r.FDs
@@ -149,7 +149,7 @@ func fdFirstProfile(ctx context.Context, rel *relation.Relation, opts Options, o
 	var store *fd.Store
 	err = timePhase(ctx, obs, PhaseFDDiscovery, func() error {
 		obs.Parallelism(PhaseFDDiscovery, workers)
-		p := opts.newProvider(rel)
+		p := opts.NewProvider(rel)
 		defer func() { obs.CacheStats(p.CacheStats()) }()
 		r, err := fd.FunContext(ctx, p, workers)
 		res.FDs = r.FDs
@@ -182,7 +182,7 @@ func taneProfile(ctx context.Context, rel *relation.Relation, opts Options, obs 
 	workers := opts.workerCount()
 	err := timePhase(ctx, obs, PhaseFDDiscovery, func() error {
 		obs.Parallelism(PhaseFDDiscovery, workers)
-		p := opts.newProvider(rel)
+		p := opts.NewProvider(rel)
 		defer func() { obs.CacheStats(p.CacheStats()) }()
 		r, err := fd.TaneContext(ctx, p, false, workers)
 		res.FDs = r.FDs

@@ -17,11 +17,17 @@ import (
 // a block of low-cardinality biological attributes, and derived annotation
 // columns that plant FDs with overlapping left-hand sides — the structure
 // that makes the shadowed-FD phase expensive and scales linearly with rows.
-func Uniprot(rows int) *relation.Relation {
+func Uniprot(rows int) *relation.Relation { return UniprotSeeded(rows, 0) }
+
+// UniprotSeeded is Uniprot with a generator-seed override; 0 keeps the
+// canonical seed, so default outputs stay byte-stable. The same convention
+// holds for every *Seeded generator below: the seed shuffles the drawn
+// values, not the dependency structure the column specs encode.
+func UniprotSeeded(rows int, seed int64) *relation.Relation {
 	return Generate(Spec{
 		Name: "uniprot",
 		Rows: rows,
-		Seed: 42,
+		Seed: seedOr(seed, 42),
 		Columns: []ColumnSpec{
 			{Name: "entry_name", Kind: Random, Card: max(rows/3, 8)},
 			{Name: "organism", Kind: Zipf, Card: 60},
@@ -47,8 +53,11 @@ func Uniprot(rows int) *relation.Relation {
 // must climb through the wide middle of the lattice; MUDS' UCC-first,
 // depth-first strategy reaches the deep dependencies directly — the Fig. 7
 // regime (paper Sec. 6.5, criteria 1–3).
-func Ionosphere(cols, rows int) *relation.Relation {
-	spec := Spec{Name: "ionosphere", Rows: rows, Seed: 7}
+func Ionosphere(cols, rows int) *relation.Relation { return IonosphereSeeded(cols, rows, 0) }
+
+// IonosphereSeeded is Ionosphere with a generator-seed override (0 = canonical).
+func IonosphereSeeded(cols, rows int, seed int64) *relation.Relation {
+	spec := Spec{Name: "ionosphere", Rows: rows, Seed: seedOr(seed, 7)}
 	radices := []int{3, 2, 2, 2, 2, 2, 2, 2} // product 384 ≥ 351 rows
 	core := len(radices)
 	if cols < core {
@@ -102,7 +111,10 @@ func dedupInts(in []int) []int {
 // columns (mutual FDs), address hierarchies (zip → city → state) and
 // moderate-cardinality person fields. The many overlapping small FDs make
 // the shadowed-FD phases dominate, as in the paper.
-func NCVoter(rows, cols int) *relation.Relation {
+func NCVoter(rows, cols int) *relation.Relation { return NCVoterSeeded(rows, cols, 0) }
+
+// NCVoterSeeded is NCVoter with a generator-seed override (0 = canonical).
+func NCVoterSeeded(rows, cols int, seed int64) *relation.Relation {
 	all := []ColumnSpec{
 		{Name: "county_id", Kind: Zipf, Card: 100},
 		{Name: "county_desc", Kind: Derived, Parents: []int{0}, Card: 100, Salt: 10},
@@ -163,7 +175,15 @@ func NCVoter(rows, cols int) *relation.Relation {
 			}
 		}
 	}
-	return Generate(Spec{Name: "ncvoter", Rows: rows, Seed: 3, Columns: cols2})
+	return Generate(Spec{Name: "ncvoter", Rows: rows, Seed: seedOr(seed, 3), Columns: cols2})
+}
+
+// seedOr resolves a seed override: 0 selects the dataset's canonical seed.
+func seedOr(seed, canonical int64) int64 {
+	if seed != 0 {
+		return seed
+	}
+	return canonical
 }
 
 // UCIInfo describes one UCI dataset row of Table 3: its shape and the FD
@@ -193,11 +213,14 @@ func UCITable() []UCIInfo {
 }
 
 // UCI generates the named UCI-like dataset. Unknown names return an error.
-func UCI(name string) (*relation.Relation, error) {
+func UCI(name string) (*relation.Relation, error) { return UCISeeded(name, 0) }
+
+// UCISeeded is UCI with a generator-seed override (0 = canonical).
+func UCISeeded(name string, seed int64) (*relation.Relation, error) {
 	switch name {
 	case "iris":
 		// 150 rows, 4 quantized measurements + class; very few FDs.
-		return Generate(Spec{Name: name, Rows: 150, Seed: 101, Columns: []ColumnSpec{
+		return Generate(Spec{Name: name, Rows: 150, Seed: seedOr(seed, 101), Columns: []ColumnSpec{
 			{Name: "sepal_l", Kind: Random, Card: 35},
 			{Name: "sepal_w", Kind: Random, Card: 23},
 			{Name: "petal_l", Kind: Random, Card: 43},
@@ -206,7 +229,7 @@ func UCI(name string) (*relation.Relation, error) {
 		}}), nil
 	case "balance":
 		// 625 = 5^4 fully crossed attributes + derived class: exactly one FD.
-		return Generate(Spec{Name: name, Rows: 625, Seed: 102, Columns: []ColumnSpec{
+		return Generate(Spec{Name: name, Rows: 625, Seed: seedOr(seed, 102), Columns: []ColumnSpec{
 			{Name: "left_w", Kind: MixedRadix, Card: 5, Stride: 125},
 			{Name: "left_d", Kind: MixedRadix, Card: 5, Stride: 25},
 			{Name: "right_w", Kind: MixedRadix, Card: 5, Stride: 5},
@@ -217,7 +240,7 @@ func UCI(name string) (*relation.Relation, error) {
 		// 28056 fully crossed end-game positions + derived outcome. The
 		// radix product (8·4·8·8·8·4 = 32768) exceeds the row count, so all
 		// rows stay distinct.
-		return Generate(Spec{Name: name, Rows: 28056, Seed: 103, Columns: []ColumnSpec{
+		return Generate(Spec{Name: name, Rows: 28056, Seed: seedOr(seed, 103), Columns: []ColumnSpec{
 			{Name: "wk_file", Kind: MixedRadix, Card: 8, Stride: 4096},
 			{Name: "wk_rank", Kind: MixedRadix, Card: 4, Stride: 1024},
 			{Name: "wr_file", Kind: MixedRadix, Card: 8, Stride: 128},
@@ -229,7 +252,7 @@ func UCI(name string) (*relation.Relation, error) {
 	case "abalone":
 		// 4177 rows, physical measurements with high cardinality: many FDs
 		// between near-unique measurement pairs.
-		return Generate(Spec{Name: name, Rows: 4177, Seed: 104, Columns: []ColumnSpec{
+		return Generate(Spec{Name: name, Rows: 4177, Seed: seedOr(seed, 104), Columns: []ColumnSpec{
 			{Name: "sex", Kind: Zipf, Card: 3},
 			{Name: "length", Kind: Random, Card: 134},
 			{Name: "diameter", Kind: Random, Card: 111},
@@ -242,7 +265,7 @@ func UCI(name string) (*relation.Relation, error) {
 		}}), nil
 	case "nursery":
 		// 12960 = 3*5*4*4*3*2*3*3 fully crossed + derived class.
-		return Generate(Spec{Name: name, Rows: 12960, Seed: 105, Columns: []ColumnSpec{
+		return Generate(Spec{Name: name, Rows: 12960, Seed: seedOr(seed, 105), Columns: []ColumnSpec{
 			{Name: "parents", Kind: MixedRadix, Card: 3, Stride: 4320},
 			{Name: "has_nurs", Kind: MixedRadix, Card: 5, Stride: 864},
 			{Name: "form", Kind: MixedRadix, Card: 4, Stride: 216},
@@ -255,7 +278,7 @@ func UCI(name string) (*relation.Relation, error) {
 		}}), nil
 	case "b-cancer":
 		// 699 rows, id column + 9 cytology grades (1..10) + class.
-		return Generate(Spec{Name: name, Rows: 699, Seed: 106, Columns: []ColumnSpec{
+		return Generate(Spec{Name: name, Rows: 699, Seed: seedOr(seed, 106), Columns: []ColumnSpec{
 			{Name: "id", Kind: Random, Card: 645},
 			{Name: "thickness", Kind: Zipf, Card: 10},
 			{Name: "size_unif", Kind: Zipf, Card: 10},
@@ -270,7 +293,7 @@ func UCI(name string) (*relation.Relation, error) {
 		}}), nil
 	case "bridges":
 		// 108 rows, id + 12 low-cardinality properties: dense FD structure.
-		return Generate(Spec{Name: name, Rows: 108, Seed: 107, Columns: []ColumnSpec{
+		return Generate(Spec{Name: name, Rows: 108, Seed: seedOr(seed, 107), Columns: []ColumnSpec{
 			{Name: "id", Kind: ID},
 			{Name: "river", Kind: Zipf, Card: 4},
 			{Name: "location", Kind: Random, Card: 52},
@@ -288,7 +311,7 @@ func UCI(name string) (*relation.Relation, error) {
 	case "echocard":
 		// 132 rows, numeric clinical measurements with high cardinality on
 		// few rows: hundreds of FDs with mid-size left-hand sides.
-		return Generate(Spec{Name: name, Rows: 132, Seed: 108, Columns: []ColumnSpec{
+		return Generate(Spec{Name: name, Rows: 132, Seed: seedOr(seed, 108), Columns: []ColumnSpec{
 			{Name: "survival", Kind: Random, Card: 40},
 			{Name: "alive", Kind: Zipf, Card: 2},
 			{Name: "age", Kind: Random, Card: 40},
@@ -306,7 +329,7 @@ func UCI(name string) (*relation.Relation, error) {
 	case "adult":
 		// 48842 census rows; the near-unique fnlwgt column gives FDs with
 		// larger left-hand sides, the regime where MUDS excels (Table 3).
-		return Generate(Spec{Name: name, Rows: 48842, Seed: 109, Columns: []ColumnSpec{
+		return Generate(Spec{Name: name, Rows: 48842, Seed: seedOr(seed, 109), Columns: []ColumnSpec{
 			{Name: "age", Kind: Random, Card: 74},
 			{Name: "workclass", Kind: Zipf, Card: 9},
 			{Name: "fnlwgt", Kind: Random, Card: 28523},
@@ -332,7 +355,7 @@ func UCI(name string) (*relation.Relation, error) {
 		// rows; every 5-subset has product ≤ 12500 < rows, so it is
 		// non-unique by pigeonhole) — plus derived moment features computed
 		// from 4–6 core features each.
-		spec := Spec{Name: name, Rows: 20000, Seed: 110, Columns: []ColumnSpec{
+		spec := Spec{Name: name, Rows: 20000, Seed: seedOr(seed, 110), Columns: []ColumnSpec{
 			{Name: "xbox", Kind: MixedRadix, Card: 5, Stride: 10000},
 			{Name: "ybox", Kind: MixedRadix, Card: 5, Stride: 2000},
 			{Name: "width", Kind: MixedRadix, Card: 5, Stride: 400},
@@ -366,7 +389,7 @@ func UCI(name string) (*relation.Relation, error) {
 		// 155 rows, 20 mostly binary clinical attributes: the combinatorial
 		// FD explosion (thousands of FDs) where shadowing hurts MUDS and
 		// TANE wins (Table 3).
-		spec := Spec{Name: name, Rows: 155, Seed: 111, Columns: []ColumnSpec{
+		spec := Spec{Name: name, Rows: 155, Seed: seedOr(seed, 111), Columns: []ColumnSpec{
 			{Name: "class", Kind: Zipf, Card: 2},
 			{Name: "age", Kind: Random, Card: 50},
 		}}

@@ -1,0 +1,115 @@
+package ind
+
+import (
+	"holistic/internal/relation"
+)
+
+// MissingMatrix is the incremental counterpart of SPIDER: it maintains, for
+// every ordered column pair (a, b), the number of distinct values of a that
+// do not occur in b. The unary IND a ⊆ b holds iff Counts[a][b] == 0, so the
+// full IND result is a matrix read-off — and unlike the dependency lattices,
+// the matrix supports EXACT delta maintenance under appends, including
+// re-validation of previously invalid INDs (containment is not monotone: new
+// referenced-side values can repair it, new dependent-side values can break
+// it).
+//
+// With old(x) the distinct values of column x before a batch and new(x) the
+// distinct values the batch added, the new count follows from two disjoint
+// unions:
+//
+//	|final(a) \ final(b)| = |old(a) \ old(b)| − |old(a) ∩ new(b)|
+//	                      + |new(a) \ final(b)|
+//
+// so Update only touches the newly added distinct values of each column —
+// the per-batch cost is proportional to the batch's novelty, not to the
+// relation.
+//
+// The matrix models SET containment over each column's distinct values,
+// which matches SPIDER's merge over duplicate-free sorted value lists. Under
+// Options.IgnoreNulls the NULL value is excluded on both sides, again
+// matching SPIDER's skipNulls. It must NOT be used for a DistinctNulls
+// relation that contains NULLs: there SPIDER's value lists carry one entry
+// per NULL occurrence (multiset semantics) and the incremental layer falls
+// back to a full re-merge instead.
+type MissingMatrix struct {
+	Counts      [][]int `json:"counts"`
+	IgnoreNulls bool    `json:"ignore_nulls,omitempty"`
+}
+
+// BuildMissing computes the initial matrix over every distinct value of
+// every column, using the relation's retained value→code lookup for
+// membership tests.
+func BuildMissing(rel *relation.Relation, opts Options) *MissingMatrix {
+	n := rel.NumColumns()
+	m := &MissingMatrix{Counts: make([][]int, n), IgnoreNulls: opts.IgnoreNulls}
+	for a := 0; a < n; a++ {
+		m.Counts[a] = make([]int, n)
+	}
+	for a := 0; a < n; a++ {
+		for _, v := range rel.DistinctValues(a) {
+			if opts.IgnoreNulls && v == relation.NullValue {
+				continue
+			}
+			for b := 0; b < n; b++ {
+				if b == a {
+					continue
+				}
+				if _, ok := rel.Lookup(b, v); !ok {
+					m.Counts[a][b]++
+				}
+			}
+		}
+	}
+	return m
+}
+
+// Update folds one appended batch into the matrix. rel must already contain
+// the batch; oldCard gives each column's dictionary size before the append
+// (relation.AppendDelta.OldCard), so the newly added distinct values of
+// column c are exactly DistinctValues(c)[oldCard[c]:].
+func (m *MissingMatrix) Update(rel *relation.Relation, oldCard []int) {
+	n := rel.NumColumns()
+	newVals := make([][]string, n)
+	for c := 0; c < n; c++ {
+		for _, v := range rel.DistinctValues(c)[oldCard[c]:] {
+			if m.IgnoreNulls && v == relation.NullValue {
+				continue
+			}
+			newVals[c] = append(newVals[c], v)
+		}
+	}
+	for a := 0; a < n; a++ {
+		for b := 0; b < n; b++ {
+			if a == b {
+				continue
+			}
+			// Values of old(a) that new(b) repaired.
+			for _, v := range newVals[b] {
+				if code, ok := rel.Lookup(a, v); ok && int(code) < oldCard[a] {
+					m.Counts[a][b]--
+				}
+			}
+			// Values of new(a) that final(b) does not contain.
+			for _, v := range newVals[a] {
+				if _, ok := rel.Lookup(b, v); !ok {
+					m.Counts[a][b]++
+				}
+			}
+		}
+	}
+}
+
+// INDs reads the valid unary INDs off the matrix, sorted like SPIDER's
+// output.
+func (m *MissingMatrix) INDs() []IND {
+	var out []IND
+	for a := range m.Counts {
+		for b, c := range m.Counts[a] {
+			if a != b && c == 0 {
+				out = append(out, IND{Dependent: a, Referenced: b})
+			}
+		}
+	}
+	Sort(out)
+	return out
+}

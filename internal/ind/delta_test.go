@@ -1,0 +1,96 @@
+package ind
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"holistic/internal/relation"
+)
+
+func randomINDRelation(t *testing.T, rng *rand.Rand, rows, cols int, nullRate float64) *relation.Relation {
+	t.Helper()
+	names := make([]string, cols)
+	for c := range names {
+		names[c] = fmt.Sprintf("c%d", c)
+	}
+	data := make([][]string, rows)
+	for i := range data {
+		row := make([]string, cols)
+		for c := range row {
+			if rng.Float64() < nullRate {
+				row[c] = ""
+			} else {
+				// Overlapping value pools make genuine INDs likely.
+				row[c] = fmt.Sprintf("v%d", rng.Intn(4+c))
+			}
+		}
+		data[i] = row
+	}
+	rel, err := relation.New("t", names, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rel
+}
+
+// TestMissingMatrixMatchesSpider pins the matrix build and read-off to
+// SPIDER's merge on static relations.
+func TestMissingMatrixMatchesSpider(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 25; trial++ {
+		for _, ignoreNulls := range []bool{false, true} {
+			rel := randomINDRelation(t, rng, 10+rng.Intn(40), 2+rng.Intn(4), 0.1)
+			opts := Options{IgnoreNulls: ignoreNulls}
+			got := BuildMissing(rel, opts).INDs()
+			want := Spider(rel, opts)
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("trial %d ignoreNulls=%v:\nmatrix %v\nspider %v", trial, ignoreNulls, got, want)
+			}
+		}
+	}
+}
+
+// TestMissingMatrixUpdate appends batches and checks the delta-maintained
+// matrix against a full SPIDER re-run after every batch — including batches
+// that only repeat old values (no new distinct values → no matrix movement)
+// and batches that repair previously invalid INDs.
+func TestMissingMatrixUpdate(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	for trial := 0; trial < 20; trial++ {
+		for _, ignoreNulls := range []bool{false, true} {
+			rel := randomINDRelation(t, rng, 15+rng.Intn(30), 3, 0.1)
+			opts := Options{IgnoreNulls: ignoreNulls}
+			m := BuildMissing(rel, opts)
+			for batch := 0; batch < 4; batch++ {
+				rows := make([][]string, 2+rng.Intn(6))
+				for i := range rows {
+					row := make([]string, 3)
+					for c := range row {
+						switch rng.Intn(3) {
+						case 0:
+							row[c] = fmt.Sprintf("v%d", rng.Intn(4+c)) // likely old
+						case 1:
+							row[c] = fmt.Sprintf("b%d_%d", batch, rng.Intn(3)) // fresh
+						default:
+							row[c] = ""
+						}
+					}
+					rows[i] = row
+				}
+				delta, err := rel.Append(rows)
+				if err != nil {
+					t.Fatal(err)
+				}
+				m.Update(rel, delta.OldCard)
+				got := m.INDs()
+				want := Spider(rel, opts)
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("trial %d batch %d ignoreNulls=%v:\nmatrix %v\nspider %v",
+						trial, batch, ignoreNulls, got, want)
+				}
+			}
+		}
+	}
+}

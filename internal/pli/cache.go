@@ -28,6 +28,12 @@ type Cache interface {
 	Bytes() int64
 	// Counters returns the accumulated hit/miss/eviction counts.
 	Counters() (hits, misses, evictions int64)
+	// ForEach visits every cached entry until fn returns false. It exists so
+	// incremental maintenance can patch cached PLIs in place after a
+	// relation append. fn must not call back into the cache (concurrent
+	// implementations hold their locks during the walk); iteration order is
+	// unspecified. Hit/miss counters are not touched.
+	ForEach(fn func(s bitset.Set, pli *PLI) bool)
 }
 
 // DefaultCacheBytes is the default byte budget of a budgeted cache: enough
@@ -199,6 +205,15 @@ func (c *MapCache) Counters() (hits, misses, evictions int64) {
 	return c.hits, c.misses, c.evictions
 }
 
+// ForEach implements Cache (map order, i.e. unspecified).
+func (c *MapCache) ForEach(fn func(s bitset.Set, pli *PLI) bool) {
+	for k, v := range c.entries {
+		if !fn(k, v.pli) {
+			return
+		}
+	}
+}
+
 // SyncCache wraps another Cache with a mutex, making it safe for concurrent
 // use. It is the concurrency-safe variant that slots into a Provider via
 // NewProviderWithCache without touching any caller.
@@ -249,6 +264,14 @@ func (c *SyncCache) Counters() (hits, misses, evictions int64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.inner.Counters()
+}
+
+// ForEach implements Cache. The mutex is held for the whole walk, so fn must
+// not call back into the cache.
+func (c *SyncCache) ForEach(fn func(s bitset.Set, pli *PLI) bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.inner.ForEach(fn)
 }
 
 // ShardedCache spreads entries over a power-of-two number of independently
@@ -360,6 +383,27 @@ func (c *ShardedCache) Bytes() int64 {
 		sh.mu.Unlock()
 	}
 	return total
+}
+
+// ForEach implements Cache, walking the shards in order (each shard's mutex
+// is held while it is walked, so fn must not call back into the cache).
+func (c *ShardedCache) ForEach(fn func(s bitset.Set, pli *PLI) bool) {
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		done := false
+		sh.inner.ForEach(func(s bitset.Set, pli *PLI) bool {
+			if !fn(s, pli) {
+				done = true
+				return false
+			}
+			return true
+		})
+		sh.mu.Unlock()
+		if done {
+			return
+		}
+	}
 }
 
 // Counters implements Cache, aggregating the per-shard counters.

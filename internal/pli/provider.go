@@ -77,6 +77,7 @@ type Provider struct {
 	// Provider is shared.
 	sampleMask    int32
 	sampledSingle []*PLI
+	sampleWanted  bool // remembers WithSampleCheck(true) so Refresh re-arms
 
 	// admit is the promotion doorkeeper: hash-indexed reference counters over
 	// candidate promotion sets. A fold-distance >= 2 plan materialises its one
@@ -289,6 +290,7 @@ const (
 // identical with and without sampling. Relations whose row count would force
 // a stride below sampleMinStride leave the prefilter disarmed.
 func (p *Provider) WithSampleCheck(on bool) *Provider {
+	p.sampleWanted = on
 	if !on {
 		p.sampleMask = 0
 		p.sampledSingle = nil

@@ -65,8 +65,20 @@ func validateRecord(name, where string, rec []string, maxField int) error {
 // enforces relational hygiene with precise positions: rectangular rows, no
 // NUL bytes, bounded field sizes.
 func ReadCSV(name string, r io.Reader, opts CSVOptions) (*Relation, error) {
+	header, rows, err := ReadCSVRows(name, r, opts)
+	if err != nil {
+		return nil, err
+	}
+	return NewWithOptions(name, header, rows, opts.Relation)
+}
+
+// ReadCSVRows parses a CSV stream into its header and raw rows, applying the
+// same hygiene checks as ReadCSV but skipping relation construction — the
+// form consumed by incremental batch appends, which extend an existing
+// relation instead of building a new one.
+func ReadCSVRows(name string, r io.Reader, opts CSVOptions) ([]string, [][]string, error) {
 	if err := faults.Inject(faults.ReaderIO); err != nil {
-		return nil, fmt.Errorf("read csv %q: %w", name, err)
+		return nil, nil, fmt.Errorf("read csv %q: %w", name, err)
 	}
 	cr := csv.NewReader(r)
 	if opts.Comma != 0 {
@@ -79,10 +91,10 @@ func ReadCSV(name string, r io.Reader, opts CSVOptions) (*Relation, error) {
 	if opts.HasHeader {
 		rec, err := cr.Read()
 		if err != nil {
-			return nil, fmt.Errorf("read csv %q header: %w", name, err)
+			return nil, nil, fmt.Errorf("read csv %q header: %w", name, err)
 		}
 		if err := validateRecord(name, "header", rec, maxField); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		header = append(header, rec...)
 	}
@@ -97,10 +109,10 @@ func ReadCSV(name string, r io.Reader, opts CSVOptions) (*Relation, error) {
 			break
 		}
 		if err != nil {
-			return nil, fmt.Errorf("read csv %q: %w", name, err)
+			return nil, nil, fmt.Errorf("read csv %q: %w", name, err)
 		}
 		if err := validateRecord(name, fmt.Sprintf("row %d", len(rows)+1), rec, maxField); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		if header == nil {
 			header = make([]string, len(rec))
@@ -109,14 +121,14 @@ func ReadCSV(name string, r io.Reader, opts CSVOptions) (*Relation, error) {
 			}
 		}
 		if len(rec) != len(header) {
-			return nil, fmt.Errorf("read csv %q: row %d has %d fields, want %d", name, len(rows)+1, len(rec), len(header))
+			return nil, nil, fmt.Errorf("read csv %q: row %d has %d fields, want %d", name, len(rows)+1, len(rec), len(header))
 		}
 		rows = append(rows, append([]string(nil), rec...))
 	}
 	if header == nil {
-		return nil, fmt.Errorf("read csv %q: empty input", name)
+		return nil, nil, fmt.Errorf("read csv %q: empty input", name)
 	}
-	return NewWithOptions(name, header, rows, opts.Relation)
+	return header, rows, nil
 }
 
 // ReadCSVFile reads a CSV file from disk.

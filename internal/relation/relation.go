@@ -43,6 +43,25 @@ type Relation struct {
 
 	sortOnce   sync.Once  // guards the one-shot parallel sortedVals build
 	sortedVals [][]string // sorted distinct values per column (see sortOnce)
+
+	// Append state, built lazily on the first Append or Lookup call: the
+	// per-column value→code maps discarded after construction and the
+	// encoded-row duplicate filter. Both are maintained incrementally by
+	// Append afterwards. Guarded by the Append exclusivity contract, not by
+	// locks.
+	lookup []map[string]int32
+	rowSet map[string]struct{}
+}
+
+// AppendDelta describes the effect of one Append call: the row count before
+// the append, the number of non-duplicate rows actually added, and the
+// per-column dictionary sizes before the append. A column c grew new distinct
+// values iff Cardinality(c) > OldCard[c]; its new codes are exactly
+// [OldCard[c], Cardinality(c)).
+type AppendDelta struct {
+	OldRows  int
+	Appended int
+	OldCard  []int
 }
 
 // Options configures relation construction.
@@ -180,6 +199,21 @@ func MustNew(name string, columnNames []string, rows [][]string) *Relation {
 		panic(err)
 	}
 	return r
+}
+
+// DistinctNulls reports whether the relation was built with SQL-style
+// NULL ≠ NULL semantics (Options.DistinctNulls). Incremental consumers need
+// it to pick NULL-compatible maintenance paths.
+func (r *Relation) DistinctNulls() bool { return r.opts.DistinctNulls }
+
+// HasNulls reports whether any column contains at least one NULL value.
+func (r *Relation) HasNulls() bool {
+	for _, id := range r.nullID {
+		if id >= 0 {
+			return true
+		}
+	}
+	return false
 }
 
 // Name returns the relation name.
@@ -321,9 +355,13 @@ func (r *Relation) Prefix(cols int) (*Relation, error) {
 
 // Head returns the relation restricted to its first rows rows, re-encoded so
 // that dictionaries and cardinalities reflect only the retained rows.
+// Non-positive row counts clamp to an empty relation.
 func (r *Relation) Head(rows int) *Relation {
 	if rows >= r.NumRows() {
 		return r
+	}
+	if rows < 0 {
+		rows = 0
 	}
 	data := make([][]string, rows)
 	for i := range data {
@@ -344,4 +382,147 @@ func (r *Relation) Rows() [][]string {
 		rows[i] = r.Row(i)
 	}
 	return rows
+}
+
+// ensureAppendState rebuilds the per-column value→code maps and the
+// encoded-row duplicate filter that construction discards. It runs once (the
+// first Append or Lookup pays O(rows × cols)); Append maintains both
+// incrementally afterwards. Callers hold the Append exclusivity contract.
+func (r *Relation) ensureAppendState() {
+	if r.lookup != nil {
+		return
+	}
+	n := r.NumColumns()
+	lookup := make([]map[string]int32, n)
+	for c := range lookup {
+		m := make(map[string]int32, len(r.dicts[c]))
+		for code, v := range r.dicts[c] {
+			if r.opts.DistinctNulls && v == NullValue {
+				// Fresh-per-occurrence NULL codes never enter the map, so no
+				// appended NULL can reuse them (mirrors construction).
+				continue
+			}
+			m[v] = int32(code)
+		}
+		lookup[c] = m
+	}
+	rowSet := make(map[string]struct{}, r.NumRows())
+	rowKey := make([]byte, 4*n)
+	for i, rows := 0, r.NumRows(); i < rows; i++ {
+		for c := 0; c < n; c++ {
+			binary.LittleEndian.PutUint32(rowKey[4*c:], uint32(r.cols[c][i]))
+		}
+		rowSet[string(rowKey)] = struct{}{}
+	}
+	r.lookup = lookup
+	r.rowSet = rowSet
+}
+
+// Lookup returns the dictionary code of value v in column c, if present.
+// Under DistinctNulls the NULL value is never found here; use NullCode.
+// Lookup shares the Append exclusivity contract: it must not race with
+// Append (it may lazily build the append state).
+func (r *Relation) Lookup(c int, v string) (int32, bool) {
+	r.ensureAppendState()
+	code, ok := r.lookup[c][v]
+	return code, ok
+}
+
+// Append extends the relation with the given rows in place: per-column
+// dictionaries grow for unseen values, code vectors are extended, and rows
+// that duplicate an existing or earlier-appended row are dropped — the
+// resulting relation is identical to one constructed from the concatenated
+// row data. If the sorted distinct-value lists have already been built, the
+// lists of grown columns are merged in place (ungrowing columns keep their
+// lists untouched), so SPIDER-style consumers stay consistent.
+//
+// Append is an exclusive operation: it must not run concurrently with any
+// other method of the relation or of structures derived from it (PLIs,
+// providers). The returned delta describes the append for downstream
+// incremental maintenance.
+func (r *Relation) Append(rows [][]string) (AppendDelta, error) {
+	n := r.NumColumns()
+	for i, row := range rows {
+		if len(row) != n {
+			return AppendDelta{}, fmt.Errorf("relation %q: appended row %d has %d fields, want %d", r.name, i, len(row), n)
+		}
+	}
+	r.ensureAppendState()
+	delta := AppendDelta{OldRows: r.NumRows(), OldCard: make([]int, n)}
+	for c := 0; c < n; c++ {
+		delta.OldCard[c] = len(r.dicts[c])
+	}
+	codes := make([]int32, n)
+	rowKey := make([]byte, 4*n)
+	for _, row := range rows {
+		// Encode first, dedup second: a duplicate row assigns no new codes
+		// (all its values were seen before), so encoding it mutates nothing.
+		// Under DistinctNulls every NULL gets a fresh code, which makes any
+		// NULL-bearing row non-duplicate by construction — exactly the
+		// semantics of a from-scratch build on the concatenated data.
+		for c := 0; c < n; c++ {
+			v := row[c]
+			if r.opts.DistinctNulls && v == NullValue {
+				code := int32(len(r.dicts[c]))
+				r.dicts[c] = append(r.dicts[c], v)
+				if r.nullID[c] < 0 {
+					r.nullID[c] = code
+				}
+				codes[c] = code
+				continue
+			}
+			code, ok := r.lookup[c][v]
+			if !ok {
+				code = int32(len(r.dicts[c]))
+				r.lookup[c][v] = code
+				r.dicts[c] = append(r.dicts[c], v)
+				if v == NullValue {
+					r.nullID[c] = code
+				}
+			}
+			codes[c] = code
+		}
+		for c := 0; c < n; c++ {
+			binary.LittleEndian.PutUint32(rowKey[4*c:], uint32(codes[c]))
+		}
+		key := string(rowKey)
+		if _, dup := r.rowSet[key]; dup {
+			r.dupRemoved++
+			continue
+		}
+		r.rowSet[key] = struct{}{}
+		for c := 0; c < n; c++ {
+			r.cols[c] = append(r.cols[c], codes[c])
+		}
+		delta.Appended++
+	}
+	if r.sortedVals != nil {
+		for c := 0; c < n; c++ {
+			if len(r.dicts[c]) > delta.OldCard[c] {
+				r.sortedVals[c] = mergeSorted(r.sortedVals[c], r.dicts[c][delta.OldCard[c]:])
+			}
+		}
+	}
+	return delta, nil
+}
+
+// mergeSorted merges the unsorted tail of newly appended distinct values into
+// an already sorted list, returning a fresh sorted slice.
+func mergeSorted(sorted, added []string) []string {
+	tail := append([]string(nil), added...)
+	sort.Strings(tail)
+	out := make([]string, 0, len(sorted)+len(tail))
+	i, j := 0, 0
+	for i < len(sorted) && j < len(tail) {
+		if sorted[i] <= tail[j] {
+			out = append(out, sorted[i])
+			i++
+		} else {
+			out = append(out, tail[j])
+			j++
+		}
+	}
+	out = append(out, sorted[i:]...)
+	out = append(out, tail[j:]...)
+	return out
 }

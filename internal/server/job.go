@@ -36,6 +36,24 @@ type job struct {
 	key cacheKey
 	src *core.MemoSource
 
+	// exec, when set, replaces the default strategy run: dataset jobs
+	// (initial profiles and batch appends) execute through it so they flow
+	// through the same queue, worker pool, retry loop, panic containment and
+	// event stream as plain jobs. It returns the engine result plus the
+	// report to attach; exec jobs never enter the content-addressed result
+	// cache (their output depends on accumulated dataset state, not only on
+	// the request bytes).
+	exec func(ctx context.Context, opts core.Options, obs core.Observer) (*core.Result, *core.Report, error)
+	// noRetry disables the transient-error retry loop. Batch appends set it:
+	// re-running a partially applied append would fold the same rows in
+	// twice.
+	noRetry bool
+	// done, when set, is invoked exactly once after the job reaches a
+	// terminal state (finish or a queued-state cancellation), with that
+	// state and error message. Dataset jobs use it to release the per-
+	// dataset busy flag and settle the dataset state.
+	done func(state, errMsg string)
+
 	mu        sync.Mutex
 	state     string
 	err       string

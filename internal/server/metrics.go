@@ -19,6 +19,8 @@ type metrics struct {
 	rejectedQueueFull atomic.Int64
 	rejectedDraining  atomic.Int64
 	jobsRunning       atomic.Int64
+	datasetsCreated   atomic.Int64
+	datasetBatches    atomic.Int64
 }
 
 // writeMetrics renders the Prometheus text exposition of the server's
@@ -44,6 +46,10 @@ func (s *Server) writeMetrics(w io.Writer) {
 		"Submissions rejected with 429 because the queue was full.", m.rejectedQueueFull.Load())
 	writeMetric(w, "profiled_jobs_rejected_draining_total", "counter",
 		"Submissions rejected with 503 during shutdown.", m.rejectedDraining.Load())
+	writeMetric(w, "profiled_datasets_created_total", "counter",
+		"Incremental profiling sessions created via POST /v1/datasets.", m.datasetsCreated.Load())
+	writeMetric(w, "profiled_dataset_batches_total", "counter",
+		"Batch appends accepted via POST /v1/datasets/{id}/batches.", m.datasetBatches.Load())
 	writeMetric(w, "profiled_result_cache_hits_total", "counter",
 		"Submissions served from the content-addressed result cache.", hits)
 	writeMetric(w, "profiled_result_cache_misses_total", "counter",

@@ -1,0 +1,98 @@
+package server
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// TestRouteUnknownJob404 checks that every job route returns a structured
+// JSON 404 for an id that was never issued.
+func TestRouteUnknownJob404(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	for _, probe := range []struct {
+		method, path string
+	}{
+		{http.MethodGet, "/v1/jobs/j-999"},
+		{http.MethodGet, "/v1/jobs/j-999/events"},
+		{http.MethodDelete, "/v1/jobs/j-999"},
+	} {
+		req, _ := http.NewRequest(probe.method, ts.URL+probe.path, nil)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatalf("%s %s: %v", probe.method, probe.path, err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("%s %s: status %d, want 404", probe.method, probe.path, resp.StatusCode)
+		}
+		var e apiError
+		if err := json.Unmarshal(body, &e); err != nil || e.Error == "" {
+			t.Errorf("%s %s: body %q is not a structured error", probe.method, probe.path, body)
+		}
+	}
+}
+
+// TestRouteMethodNotAllowed checks that the method-scoped mux patterns turn a
+// wrong verb into 405 with the Allow header listing the supported ones.
+func TestRouteMethodNotAllowed(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	for _, probe := range []struct {
+		method, path string
+		wantAllow    string // a verb that must appear in the Allow header
+	}{
+		{http.MethodPost, "/v1/jobs/j-1", "GET"},
+		{http.MethodPut, "/v1/jobs", "POST"},
+		{http.MethodDelete, "/v1/datasets/d-1", "GET"},
+		{http.MethodPut, "/v1/datasets/d-1/batches", "POST"},
+		{http.MethodPost, "/healthz", "GET"},
+	} {
+		req, _ := http.NewRequest(probe.method, ts.URL+probe.path, strings.NewReader("{}"))
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatalf("%s %s: %v", probe.method, probe.path, err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Errorf("%s %s: status %d, want 405", probe.method, probe.path, resp.StatusCode)
+		}
+		if allow := resp.Header.Get("Allow"); !strings.Contains(allow, probe.wantAllow) {
+			t.Errorf("%s %s: Allow %q does not offer %s", probe.method, probe.path, allow, probe.wantAllow)
+		}
+	}
+}
+
+// TestRouteMalformedJSON400 checks that syntactically broken and unknown-field
+// bodies come back as structured 400s naming the problem, on both submission
+// endpoints.
+func TestRouteMalformedJSON400(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	for _, probe := range []struct {
+		path, body string
+	}{
+		{"/v1/jobs", `{"csv": "a,b\n1,2\n"`},         // truncated
+		{"/v1/jobs", `{"no_such_option": true}`},     // unknown field
+		{"/v1/jobs", `"just a string"`},              // wrong JSON shape
+		{"/v1/datasets", `{not json at all`},         // garbage
+		{"/v1/datasets", `{"no_such_option": true}`}, // unknown field
+	} {
+		resp, err := http.Post(ts.URL+probe.path, "application/json", strings.NewReader(probe.body))
+		if err != nil {
+			t.Fatalf("POST %s: %v", probe.path, err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("POST %s %q: status %d, want 400", probe.path, probe.body, resp.StatusCode)
+			continue
+		}
+		var e apiError
+		if err := json.Unmarshal(body, &e); err != nil || e.Error == "" {
+			t.Errorf("POST %s: 400 body %q is not a structured error", probe.path, body)
+		}
+	}
+}

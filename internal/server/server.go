@@ -127,6 +127,14 @@ type Server struct {
 	order    []string // submission order, for retention eviction
 	nextID   int64
 
+	// datasets are the server's incremental profiling sessions (see
+	// dataset.go). They are keyed by id and live for the server's lifetime:
+	// unlike finished jobs, a dataset holds warm state that future batch
+	// appends extend, so there is no retention eviction.
+	datasets map[string]*dataset
+	dsOrder  []string // creation order, for listing
+	nextDSID int64
+
 	// consecutivePanics drives the health watchdog: incremented when a job
 	// fails on a recovered panic, reset when one completes cleanly. At
 	// cfg.DegradedAfter, /healthz flips to degraded.
@@ -147,6 +155,7 @@ func New(cfg Config) *Server {
 		cancelRuns: cancel,
 		queue:      make(chan *job, cfg.QueueDepth),
 		jobs:       make(map[string]*job),
+		datasets:   make(map[string]*dataset),
 	}
 	s.routes()
 	for i := 0; i < cfg.Workers; i++ {
@@ -167,6 +176,11 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleGet)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	s.mux.HandleFunc("POST /v1/datasets", s.handleCreateDataset)
+	s.mux.HandleFunc("GET /v1/datasets", s.handleListDatasets)
+	s.mux.HandleFunc("GET /v1/datasets/{id}", s.handleGetDataset)
+	s.mux.HandleFunc("POST /v1/datasets/{id}/batches", s.handleAppendBatch)
+	s.mux.HandleFunc("GET /v1/datasets/{id}/profile", s.handleGetProfile)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 }
@@ -268,10 +282,15 @@ func (s *Server) runJob(j *job) {
 	}
 
 	var res *core.Result
+	var report *core.Report
 	var err error
 	for attempt := 0; ; attempt++ {
-		res, err = core.RunContext(ctx, j.req.Algorithm, j.src, opts, obs)
-		if err == nil || attempt >= s.cfg.RetryAttempts || !isTransient(err) || ctx.Err() != nil {
+		if j.exec != nil {
+			res, report, err = j.exec(ctx, opts, obs)
+		} else {
+			res, err = core.RunContext(ctx, j.req.Algorithm, j.src, opts, obs)
+		}
+		if err == nil || j.noRetry || attempt >= s.cfg.RetryAttempts || !isTransient(err) || ctx.Err() != nil {
 			break
 		}
 		s.metrics.jobRetries.Add(1)
@@ -295,8 +314,10 @@ func (s *Server) runJob(j *job) {
 	switch {
 	case err == nil:
 		s.consecutivePanics.Store(0)
-		report := core.NewReport(j.src.Relation(), res, j.req.WithStats)
-		s.cache.put(j.key, report)
+		if j.exec == nil {
+			report = core.NewReport(j.src.Relation(), res, j.req.WithStats)
+			s.cache.put(j.key, report)
+		}
 		s.finish(j, StateDone, "", report)
 	case errors.Is(err, context.Canceled):
 		s.finish(j, StateCanceled, "canceled", nil)
@@ -319,7 +340,7 @@ func (s *Server) runJob(j *job) {
 // never enter the content-addressed result cache: the same submission must
 // re-profile, not replay an incomplete answer.
 func partialReport(j *job, res *core.Result) (*core.Report, bool) {
-	if res == nil || !res.Partial {
+	if res == nil || !res.Partial || j.src == nil {
 		return nil, false
 	}
 	if len(res.INDs)+len(res.UCCs)+len(res.FDs) == 0 {
@@ -346,6 +367,9 @@ func (s *Server) finish(j *job, state, errMsg string, report *core.Report) {
 	j.finished = time.Now().UTC()
 	j.mu.Unlock()
 	s.announce(j, state, errMsg)
+	if j.done != nil {
+		j.done(state, errMsg)
+	}
 }
 
 // announce records a terminal transition in the job's event stream and bumps
@@ -390,6 +414,9 @@ func (s *Server) cancelIfQueued(j *job, reason string) bool {
 	j.finished = time.Now().UTC()
 	j.mu.Unlock()
 	s.announce(j, StateCanceled, reason)
+	if j.done != nil {
+		j.done(StateCanceled, reason)
+	}
 	return true
 }
 
@@ -453,6 +480,81 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	_ = enc.Encode(v)
 }
 
+// decodeBody decodes a bounded JSON request body into v with unknown fields
+// rejected, writing the structured 400/413 response itself on failure.
+func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			s.logf("request rejected (413): %v", err)
+			writeJSON(w, http.StatusRequestEntityTooLarge, apiError{Error: err.Error()})
+			return false
+		}
+		// Unknown fields land here too (DisallowUnknownFields); logging the
+		// reason makes a typoed option debuggable server-side.
+		s.logf("request rejected (400): invalid request body: %v", err)
+		writeJSON(w, http.StatusBadRequest, apiError{Error: "invalid request body: " + err.Error()})
+		return false
+	}
+	return true
+}
+
+// resolveTimeout turns a request's timeout_seconds into the effective job
+// deadline: the server default when unset, clamped to MaxTimeout. An
+// explicitly requested out-of-range deadline is a client error — the 400 is
+// written here — not something to silently clamp.
+func (s *Server) resolveTimeout(w http.ResponseWriter, requested float64) (time.Duration, bool) {
+	timeout := s.cfg.DefaultTimeout
+	if requested > 0 {
+		timeout = time.Duration(requested * float64(time.Second))
+		if s.cfg.MaxTimeout > 0 && timeout > s.cfg.MaxTimeout {
+			s.logf("request rejected (400): timeout_seconds %g exceeds maximum %v", requested, s.cfg.MaxTimeout)
+			writeJSON(w, http.StatusBadRequest, apiError{
+				Error: fmt.Sprintf("timeout_seconds must be <= %g", s.cfg.MaxTimeout.Seconds()),
+			})
+			return 0, false
+		}
+	}
+	if s.cfg.MaxTimeout > 0 && (timeout <= 0 || timeout > s.cfg.MaxTimeout) {
+		timeout = s.cfg.MaxTimeout // server default clamped, never rejected
+	}
+	return timeout, true
+}
+
+// enqueueJob admits j: the draining check, the non-blocking send and the
+// registration happen under one critical section, so Shutdown's queued-job
+// sweep (same lock) sees every job that is in the queue, and no send can be
+// mid-flight when Shutdown closes the channel. Rejections (503 draining,
+// 429 full) are written here.
+func (s *Server) enqueueJob(w http.ResponseWriter, j *job) bool {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		s.metrics.rejectedDraining.Add(1)
+		writeJSON(w, http.StatusServiceUnavailable, apiError{Error: "server is shutting down"})
+		return false
+	}
+	select {
+	case s.queue <- j:
+		s.registerLocked(j)
+		s.mu.Unlock()
+	default:
+		s.mu.Unlock()
+		s.metrics.rejectedQueueFull.Add(1)
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusTooManyRequests, apiError{
+			Error: fmt.Sprintf("job queue is full (%d waiting); retry later", s.cfg.QueueDepth),
+		})
+		return false
+	}
+	s.metrics.jobsSubmitted.Add(1)
+	j.events.append(JobEvent{Event: core.Event{Type: EventState}, State: StateQueued})
+	return true
+}
+
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	// Injected admission fault: proves a failing enqueue path surfaces as a
 	// structured 503 with a retry hint, not a dead daemon or a hung client.
@@ -462,21 +564,8 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusServiceUnavailable, apiError{Error: "admission unavailable: " + err.Error()})
 		return
 	}
-	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
 	var req jobRequest
-	dec := json.NewDecoder(r.Body)
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(&req); err != nil {
-		var tooLarge *http.MaxBytesError
-		if errors.As(err, &tooLarge) {
-			s.logf("submit rejected (413): %v", err)
-			writeJSON(w, http.StatusRequestEntityTooLarge, apiError{Error: err.Error()})
-			return
-		}
-		// Unknown fields land here too (DisallowUnknownFields); logging the
-		// reason makes a typoed option debuggable server-side.
-		s.logf("submit rejected (400): invalid request body: %v", err)
-		writeJSON(w, http.StatusBadRequest, apiError{Error: "invalid request body: " + err.Error()})
+	if !s.decodeBody(w, r, &req) {
 		return
 	}
 	key, src, err := req.normalize(s.cfg.DataDir)
@@ -485,21 +574,9 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, apiError{Error: err.Error()})
 		return
 	}
-	timeout := s.cfg.DefaultTimeout
-	if req.TimeoutSeconds > 0 {
-		timeout = time.Duration(req.TimeoutSeconds * float64(time.Second))
-		if s.cfg.MaxTimeout > 0 && timeout > s.cfg.MaxTimeout {
-			// An explicitly requested out-of-range deadline is a client error,
-			// not something to silently clamp.
-			s.logf("submit rejected (400): timeout_seconds %g exceeds maximum %v", req.TimeoutSeconds, s.cfg.MaxTimeout)
-			writeJSON(w, http.StatusBadRequest, apiError{
-				Error: fmt.Sprintf("timeout_seconds must be <= %g", s.cfg.MaxTimeout.Seconds()),
-			})
-			return
-		}
-	}
-	if s.cfg.MaxTimeout > 0 && (timeout <= 0 || timeout > s.cfg.MaxTimeout) {
-		timeout = s.cfg.MaxTimeout // server default clamped, never rejected
+	timeout, ok := s.resolveTimeout(w, req.TimeoutSeconds)
+	if !ok {
+		return
 	}
 
 	j := &job{
@@ -544,31 +621,9 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	// Enqueue and register under one critical section: Shutdown's
-	// queued-job sweep runs under the same lock, so every job it can find
-	// in the queue is also in the table.
-	s.mu.Lock()
-	if s.draining {
-		s.mu.Unlock()
-		s.metrics.rejectedDraining.Add(1)
-		writeJSON(w, http.StatusServiceUnavailable, apiError{Error: "server is shutting down"})
+	if !s.enqueueJob(w, j) {
 		return
 	}
-	select {
-	case s.queue <- j:
-		s.registerLocked(j)
-		s.mu.Unlock()
-	default:
-		s.mu.Unlock()
-		s.metrics.rejectedQueueFull.Add(1)
-		w.Header().Set("Retry-After", "1")
-		writeJSON(w, http.StatusTooManyRequests, apiError{
-			Error: fmt.Sprintf("job queue is full (%d waiting); retry later", s.cfg.QueueDepth),
-		})
-		return
-	}
-	s.metrics.jobsSubmitted.Add(1)
-	j.events.append(JobEvent{Event: core.Event{Type: EventState}, State: StateQueued})
 	s.logf("job %s queued: algorithm=%s dataset=%s sha256=%s", j.id, req.Algorithm, req.Dataset, key.DatasetSHA256[:12])
 	w.Header().Set("Location", "/v1/jobs/"+j.id)
 	writeJSON(w, http.StatusAccepted, j.view())

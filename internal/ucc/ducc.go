@@ -3,6 +3,7 @@ package ucc
 import (
 	"context"
 
+	"holistic/internal/bitset"
 	"holistic/internal/pli"
 	"holistic/internal/walker"
 )
@@ -29,8 +30,23 @@ func Ducc(p *pli.Provider, seed int64) Result {
 // error the result is progress information, not a complete (or even minimal)
 // UCC cover.
 func DuccContext(ctx context.Context, p *pli.Provider, seed int64) (Result, error) {
+	return DuccSeeded(ctx, p, seed, nil, nil)
+}
+
+// DuccSeeded is DuccContext with pre-certified lattice knowledge: knownTrue
+// sets are trusted unique, knownFalse sets trusted non-unique, and neither is
+// re-evaluated. It is the repair entry point of incremental profiling — after
+// an appended batch, the still-valid prior UCCs enter as knownTrue and the
+// violated ones (plus the prior maximal non-uniques, still false by
+// monotonicity) as knownFalse, so the walk only explores the invalidated
+// lattice region above the violations.
+func DuccSeeded(ctx context.Context, p *pli.Provider, seed int64, knownTrue, knownFalse []bitset.Set) (Result, error) {
 	base := p.Relation().AllColumns()
-	res, err := walker.RunContext(ctx, base, p.IsUnique, walker.Options{Seed: seed})
+	res, err := walker.RunContext(ctx, base, p.IsUnique, walker.Options{
+		Seed:       seed,
+		KnownTrue:  knownTrue,
+		KnownFalse: knownFalse,
+	})
 	return Result{
 		Minimal:          res.MinimalTrue,
 		MaximalNonUnique: res.MaximalFalse,

@@ -16,6 +16,13 @@ fi
 echo "== go vet =="
 go vet ./...
 
+echo "== staticcheck =="
+if command -v staticcheck >/dev/null 2>&1; then
+	staticcheck ./...
+else
+	echo "staticcheck not installed; skipping (CI runs it)"
+fi
+
 echo "== go build =="
 go build ./...
 
@@ -42,6 +49,12 @@ go test -race -count=1 -run 'TestFastPathConfigEquivalence' ./internal/core/
 
 echo "== validation bench smoke (5k rows) =="
 go run ./cmd/experiments -validate -validate-rows 5000 -validate-json ''
+
+echo "== incremental differential fuzz smoke (append path vs from-scratch) =="
+go test -run='^$' -fuzz='^FuzzIncrementalEquivalence$' -fuzztime=10s ./internal/incremental/
+
+echo "== incremental bench smoke (5k rows) =="
+go run ./cmd/experiments -incremental -incremental-rows 5000 -incremental-json ''
 
 echo "== chaos suite (fault injection, race) =="
 go test -race -count=1 -run 'TestChaos|TestJobDeadlinePartialResult' ./internal/server/

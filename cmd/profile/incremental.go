@@ -73,8 +73,11 @@ func runIncremental(ctx context.Context, src *core.MemoSource, algorithm string,
 	}
 
 	if inc.snapPath != "" {
+		// WriteFile is atomic (temp file + rename): a failure mid-encode
+		// cleans up after itself and leaves any previous snapshot intact, so
+		// the path in this error always names a consistent file or none.
 		if err := p.Snapshot().WriteFile(inc.snapPath); err != nil {
-			return fmt.Errorf("write snapshot: %w", err)
+			return fmt.Errorf("write snapshot %s: %w", inc.snapPath, err)
 		}
 	}
 

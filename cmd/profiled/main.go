@@ -7,8 +7,8 @@
 //
 //	profiled [-addr host:port] [-workers N] [-queue N] [-job-timeout d]
 //	         [-max-job-timeout d] [-shutdown-timeout d] [-data dir]
-//	         [-cache N] [-max-body bytes] [-max-cache-bytes N]
-//	         [-retries N] [-retry-backoff d] [-quiet]
+//	         [-state-dir dir] [-cache N] [-max-body bytes]
+//	         [-max-cache-bytes N] [-retries N] [-retry-backoff d] [-quiet]
 //
 // API:
 //
@@ -23,6 +23,15 @@
 // SIGINT/SIGTERM starts a graceful shutdown: admission flips to 503, queued
 // jobs are canceled, and in-flight jobs get -shutdown-timeout to finish
 // before their contexts are cut.
+//
+// With -state-dir, the daemon is crash-safe: admitted jobs and dataset
+// sessions are journaled to a checksummed, fsync'd WAL and dataset profiler
+// state is checkpointed atomically after every completed job. On startup the
+// directory is replayed — dataset sessions come back warm with their last
+// completed profile, interrupted dataset jobs are reported as "lost" (the
+// session is poisoned, its last good report stays readable), and interrupted
+// plain jobs re-run. A torn WAL tail (the expected residue of a crash) is
+// truncated and counted; mid-file corruption refuses to replay.
 package main
 
 import (
@@ -50,6 +59,7 @@ func main() {
 		maxJobTimeout   = flag.Duration("max-job-timeout", 0, "cap on requested per-job deadlines (0 = no cap)")
 		shutdownTimeout = flag.Duration("shutdown-timeout", 30*time.Second, "drain deadline on SIGINT/SIGTERM before in-flight jobs are canceled")
 		dataDir         = flag.String("data", "", "directory for path-based dataset submissions (empty = inline CSV only)")
+		stateDir        = flag.String("state-dir", "", "directory for crash-safe state (WAL + checkpoints); replayed on startup (empty = in-memory only)")
 		cacheEntries    = flag.Int("cache", 256, "content-addressed result cache size (reports)")
 		maxBody         = flag.Int64("max-body", 32<<20, "maximum request body size in bytes")
 		maxCacheBytes   = flag.Int64("max-cache-bytes", 0, "per-job PLI cache byte budget (0 = engine default, -1 = unbudgeted); over budget the cache sheds and recomputes")
@@ -76,12 +86,13 @@ func main() {
 	if *retries <= 0 {
 		*retries = -1 // Config: negative disables retries
 	}
-	srv := server.New(server.Config{
+	srv, recovery, err := server.Open(server.Config{
 		Workers:        *workers,
 		QueueDepth:     *queueDepth,
 		DefaultTimeout: *jobTimeout,
 		MaxTimeout:     *maxJobTimeout,
 		DataDir:        *dataDir,
+		StateDir:       *stateDir,
 		CacheEntries:   *cacheEntries,
 		MaxBodyBytes:   *maxBody,
 		MaxCacheBytes:  *maxCacheBytes,
@@ -89,6 +100,20 @@ func main() {
 		RetryBackoff:   *retryBackoff,
 		Logf:           logf,
 	})
+	if err != nil {
+		logger.Printf("open: %v", err)
+		os.Exit(1)
+	}
+	if *stateDir != "" {
+		how := "clean shutdown"
+		if !recovery.CleanShutdown {
+			how = "crash or kill"
+		}
+		logger.Printf("recovery: state-dir=%s records=%d (%s) torn-tail-bytes=%d sessions: %d recovered, %d failed; jobs: %d restored, %d replayed, %d lost",
+			*stateDir, recovery.WALRecords, how, recovery.TornTailBytes,
+			recovery.RecoveredSessions, recovery.FailedSessions,
+			recovery.RestoredJobs, recovery.ReplayedJobs, recovery.LostJobs)
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

@@ -1,0 +1,54 @@
+package durable
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+)
+
+// Checkpoint file layout: an 8-byte magic, a little-endian uint32 CRC32C of
+// the payload, then the payload. The magic rejects foreign files before the
+// checksum does; the checksum rejects bit rot and torn writes that slipped
+// past the atomic rename (e.g. a corrupted sector).
+const checkpointMagic = "HDPCKPT1"
+
+// WriteCheckpoint atomically replaces the checkpoint at path with payload:
+// temp file in the same directory, fsync, rename (the checkpoint.rename
+// fault point fires between the two). Readers see the old checkpoint or the
+// new one, never a mixture, and a failed write leaves no temp file behind.
+func WriteCheckpoint(path string, payload []byte) error {
+	return AtomicWriteFile(path, func(f *os.File) error {
+		var header [len(checkpointMagic) + 4]byte
+		copy(header[:], checkpointMagic)
+		binary.LittleEndian.PutUint32(header[len(checkpointMagic):], crc32.Checksum(payload, castagnoli))
+		if _, err := f.Write(header[:]); err != nil {
+			return err
+		}
+		_, err := f.Write(payload)
+		return err
+	})
+}
+
+// ReadCheckpoint reads and verifies the checkpoint at path, returning its
+// payload. A missing file surfaces as an os.IsNotExist error; a damaged one
+// as an error wrapping ErrCorrupt.
+func ReadCheckpoint(path string) ([]byte, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	headerLen := len(checkpointMagic) + 4
+	if len(data) < headerLen {
+		return nil, fmt.Errorf("%w: checkpoint %s is %d bytes, shorter than its header", ErrCorrupt, path, len(data))
+	}
+	if string(data[:len(checkpointMagic)]) != checkpointMagic {
+		return nil, fmt.Errorf("%w: checkpoint %s has no magic header", ErrCorrupt, path)
+	}
+	want := binary.LittleEndian.Uint32(data[len(checkpointMagic):headerLen])
+	payload := data[headerLen:]
+	if crc32.Checksum(payload, castagnoli) != want {
+		return nil, fmt.Errorf("%w: checkpoint %s failed its checksum", ErrCorrupt, path)
+	}
+	return payload, nil
+}

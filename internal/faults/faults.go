@@ -66,6 +66,19 @@ const (
 	// ServerEnqueue fires in the profiling server's submit handler before a
 	// job is enqueued; the server maps it to a structured 503.
 	ServerEnqueue Point = "server.enqueue"
+	// WALAppend fires in durable.WAL.Append before the record frame is
+	// written, modeling a full disk or failed write. The record is not
+	// written at all (no partial frame), so replay sees a clean log.
+	WALAppend Point = "wal.append"
+	// WALFsync fires in durable.WAL.Append between the frame write and the
+	// fsync, modeling a sync failure: the bytes may or may not be durable,
+	// so the caller must treat the append as failed even though replay may
+	// later surface the record.
+	WALFsync Point = "wal.fsync"
+	// CheckpointRename fires in durable.WriteCheckpoint between the synced
+	// temp file and the atomic rename: the previous checkpoint must survive
+	// untouched and the temp file must be cleaned up.
+	CheckpointRename Point = "checkpoint.rename"
 )
 
 // Mode selects what an armed point does when it fires.

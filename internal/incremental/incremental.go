@@ -78,11 +78,15 @@ func NewProfiler(ctx context.Context, rel *relation.Relation, algorithm string, 
 }
 
 // Resume reconstructs a warm profiler from a relation and a snapshot of a
-// prior session, without re-running discovery. The relation must be the same
-// profiled prefix the snapshot describes (Snapshot.Validate enforces the
-// fingerprint). The snapshot's missing-value matrix is reused when present
-// and rebuilt from the relation otherwise.
+// prior session, without re-running discovery. The snapshot's content
+// checksum is verified first (a damaged file fails with ErrCorruptSnapshot);
+// then the relation must be the same profiled prefix the snapshot describes
+// (Snapshot.Validate enforces the fingerprint). The snapshot's missing-value
+// matrix is reused when present and rebuilt from the relation otherwise.
 func Resume(rel *relation.Relation, snap *Snapshot, opts core.Options) (*Profiler, error) {
+	if err := snap.VerifyChecksum(); err != nil {
+		return nil, err
+	}
 	if _, ok := core.Lookup(snap.Algorithm); !ok {
 		return nil, fmt.Errorf("incremental: snapshot algorithm %q is not registered", snap.Algorithm)
 	}

@@ -20,12 +20,15 @@ package incremental
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"os"
 
 	"holistic/internal/bitset"
 	"holistic/internal/core"
+	"holistic/internal/durable"
 	"holistic/internal/fd"
 	"holistic/internal/ind"
 	"holistic/internal/relation"
@@ -77,6 +80,48 @@ type Snapshot struct {
 	// maintained or when the relation's NULL semantics force the SPIDER
 	// fallback (DistinctNulls with NULLs present).
 	Missing *ind.MissingMatrix `json:"missing,omitempty"`
+	// Checksum is the CRC32C (hex) of the snapshot's compact JSON encoding
+	// with this field empty. Write computes it; Resume verifies it, so a
+	// half-written or bit-rotted snapshot file is rejected as corrupt
+	// instead of resuming from damaged metadata. Empty means unchecked
+	// (snapshots written before the field existed).
+	Checksum string `json:"checksum,omitempty"`
+}
+
+// ErrCorruptSnapshot reports a snapshot whose stored checksum does not match
+// its content — file damage, distinct from a fingerprint mismatch (which
+// means the snapshot is intact but belongs to different data).
+var ErrCorruptSnapshot = errors.New("incremental: corrupt snapshot (checksum mismatch)")
+
+// checksum computes the snapshot's content checksum: CRC32C over the compact
+// JSON encoding with the Checksum field cleared. encoding/json emits struct
+// fields in declaration order and sorts map keys, so the encoding — and the
+// checksum — is deterministic across processes.
+func (s *Snapshot) checksum() (string, error) {
+	c := *s
+	c.Checksum = ""
+	data, err := json.Marshal(&c)
+	if err != nil {
+		return "", fmt.Errorf("snapshot: encode for checksum: %w", err)
+	}
+	return fmt.Sprintf("%08x", crc32.Checksum(data, crc32.MakeTable(crc32.Castagnoli))), nil
+}
+
+// VerifyChecksum checks the stored checksum against the content. Snapshots
+// without one (pre-checksum files) pass; a mismatch returns an error
+// wrapping ErrCorruptSnapshot.
+func (s *Snapshot) VerifyChecksum() error {
+	if s.Checksum == "" {
+		return nil
+	}
+	want, err := s.checksum()
+	if err != nil {
+		return err
+	}
+	if s.Checksum != want {
+		return fmt.Errorf("%w: stored %s, computed %s", ErrCorruptSnapshot, s.Checksum, want)
+	}
+	return nil
 }
 
 // Validate checks the snapshot against a loaded relation: same schema, same
@@ -120,24 +165,27 @@ func ReadSnapshotFile(path string) (*Snapshot, error) {
 	return ReadSnapshot(f)
 }
 
-// Write encodes the snapshot to w as indented JSON.
+// Write encodes the snapshot to w as indented JSON, sealing it with its
+// content checksum first.
 func (s *Snapshot) Write(w io.Writer) error {
+	sum, err := s.checksum()
+	if err != nil {
+		return err
+	}
+	s.Checksum = sum
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(s)
 }
 
-// WriteFile encodes the snapshot to a file (0644, truncating).
+// WriteFile encodes the snapshot to a file atomically: a temp file in the
+// same directory, fsync, then rename, so a crash (or an encoding failure)
+// mid-write can never leave a truncated snapshot behind — the previous file,
+// if any, survives intact and the temp file is cleaned up on error.
 func (s *Snapshot) WriteFile(path string) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	if err := s.Write(f); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
+	return durable.AtomicWriteFile(path, func(f *os.File) error {
+		return s.Write(f)
+	})
 }
 
 // encode/decode helpers between the engine's in-memory types and the

@@ -1,0 +1,124 @@
+package incremental
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"holistic/internal/core"
+	"holistic/internal/relation"
+)
+
+func snapshotProfiler(t *testing.T) (*Profiler, *relation.Relation) {
+	t.Helper()
+	rows := randomRows(rand.New(rand.NewSource(7)), 40, 3, 0, "v")
+	rel := mustRelation(t, rows, 3, relation.Options{})
+	p, _, err := NewProfiler(context.Background(), rel, core.StrategyMuds, core.Options{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel2 := mustRelation(t, rows, 3, relation.Options{})
+	return p, rel2
+}
+
+// TestSnapshotFileChecksum covers the durability contract of snapshot files:
+// WriteFile seals a checksum that survives the file round trip, and Resume
+// rejects a tampered file with ErrCorruptSnapshot — a distinct failure from
+// the fingerprint mismatch an intact-but-foreign snapshot produces.
+func TestSnapshotFileChecksum(t *testing.T) {
+	p, rel := snapshotProfiler(t)
+	path := filepath.Join(t.TempDir(), "session.snap")
+	if err := p.Snapshot().WriteFile(path); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+
+	snap, err := ReadSnapshotFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Checksum == "" {
+		t.Fatal("WriteFile left Checksum empty")
+	}
+	if _, err := Resume(rel, snap, core.Options{}); err != nil {
+		t.Fatalf("Resume on intact snapshot: %v", err)
+	}
+
+	// Tamper with the metadata but keep the stored checksum: corrupt.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tampered := strings.Replace(string(data), `"version": 0`, `"version": 7`, 1)
+	if tampered == string(data) {
+		t.Fatal("tamper target not found in snapshot JSON")
+	}
+	if err := os.WriteFile(path, []byte(tampered), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	snap2, err := ReadSnapshotFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Resume(rel, snap2, core.Options{}); !errors.Is(err, ErrCorruptSnapshot) {
+		t.Fatalf("Resume on tampered snapshot: err = %v, want ErrCorruptSnapshot", err)
+	}
+
+	// A fingerprint mismatch on an intact snapshot must NOT read as corrupt.
+	snap3 := p.Snapshot()
+	if err := snap3.Write(&strings.Builder{}); err != nil { // seals checksum
+		t.Fatal(err)
+	}
+	other := mustRelation(t, [][]string{{"a", "b", "c"}}, 3, relation.Options{})
+	_, err = Resume(other, snap3, core.Options{})
+	if err == nil || errors.Is(err, ErrCorruptSnapshot) {
+		t.Fatalf("fingerprint mismatch: err = %v, want non-corrupt validation error", err)
+	}
+}
+
+// TestSnapshotChecksumOptional keeps pre-checksum snapshot files resumable.
+func TestSnapshotChecksumOptional(t *testing.T) {
+	p, rel := snapshotProfiler(t)
+	snap := p.Snapshot() // never sealed: Checksum empty
+	if _, err := Resume(rel, snap, core.Options{}); err != nil {
+		t.Fatalf("Resume without checksum: %v", err)
+	}
+}
+
+// TestSnapshotWriteFileAtomic proves a failed write leaves the previous
+// snapshot intact and no temp residue, and that success leaves exactly the
+// snapshot file.
+func TestSnapshotWriteFileAtomic(t *testing.T) {
+	p, _ := snapshotProfiler(t)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "session.snap")
+	if err := p.Snapshot().WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	before, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Writing into a missing directory fails after the temp create; the
+	// original file must be untouched either way.
+	if err := p.Snapshot().WriteFile(filepath.Join(dir, "missing", "x.snap")); err == nil {
+		t.Fatal("WriteFile into missing directory succeeded")
+	}
+	after, err := os.ReadFile(path)
+	if err != nil || string(after) != string(before) {
+		t.Fatalf("original snapshot changed after failed write: %v", err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if e.Name() != "session.snap" {
+			t.Fatalf("unexpected residue %s in snapshot dir", e.Name())
+		}
+	}
+}

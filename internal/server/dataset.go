@@ -143,6 +143,7 @@ func (s *Server) newDatasetJob(d *dataset, timeout time.Duration, noRetry bool,
 		exec:      exec,
 		noRetry:   noRetry,
 		done:      d.settle,
+		datasetID: d.id,
 	}
 	s.mu.Lock()
 	s.nextID++
@@ -184,6 +185,14 @@ func (s *Server) handleCreateDataset(w http.ResponseWriter, r *http.Request) {
 		created: time.Now().UTC(),
 		updated: time.Now().UTC(),
 	}
+	// The id is assigned before the job is built (the job's datasetID links
+	// its journaled terminal record back to the session) and the creation is
+	// journaled before the dataset is published: a crash can forget an id
+	// the client never saw, but never one it did.
+	s.mu.Lock()
+	s.nextDSID++
+	d.id = fmt.Sprintf("d-%d", s.nextDSID)
+	s.mu.Unlock()
 	j := s.newDatasetJob(d, timeout, false, func(ctx context.Context, opts core.Options, obs core.Observer) (*core.Result, *core.Report, error) {
 		return s.runInitialProfile(ctx, d, src, opts, obs)
 	})
@@ -193,14 +202,21 @@ func (s *Server) handleCreateDataset(w http.ResponseWriter, r *http.Request) {
 	// partial profile is not a revalidation baseline).
 	j.src = src
 
+	if s.store != nil {
+		if err := s.journal(walRecord{Type: recDataset, Dataset: d.id, Req: &req}); err != nil {
+			s.logf("dataset rejected (503): journal create: %v", err)
+			w.Header().Set("Retry-After", "1")
+			writeJSON(w, http.StatusServiceUnavailable, apiError{Error: "state journal unavailable: " + err.Error()})
+			return
+		}
+	}
+
 	s.mu.Lock()
-	s.nextDSID++
-	d.id = fmt.Sprintf("d-%d", s.nextDSID)
 	s.datasets[d.id] = d
 	s.dsOrder = append(s.dsOrder, d.id)
 	s.mu.Unlock()
 
-	if !s.enqueueJob(w, j) {
+	if !s.enqueueJob(w, j, &walRecord{Type: recDSJob, Job: j.id, Dataset: d.id, Kind: dsJobProfile}) {
 		// Admission failed after the dataset was published: keep the record
 		// (clients may already hold the id) but mark it failed.
 		d.settle(StateFailed, "initial profile was not admitted (queue full or shutting down)")
@@ -229,7 +245,33 @@ func (s *Server) runInitialProfile(ctx context.Context, d *dataset, src *core.Me
 	d.report = report
 	d.version = prof.Version() + 1
 	d.mu.Unlock()
+	// A dataset job only counts as done once its state is durable: a failed
+	// checkpoint fails the job, which poisons the session instead of letting
+	// a restart lose state a client was told exists.
+	if err := s.checkpointDataset(d, prof, report); err != nil {
+		return res, nil, err
+	}
 	return res, report, nil
+}
+
+// checkpointDataset persists a dataset's warm profiler state and latest
+// report (atomic write, no-op without a state dir). Every successful dataset
+// job ends with one, BEFORE its terminal record is journaled.
+func (s *Server) checkpointDataset(d *dataset, prof *incremental.Profiler, report *core.Report) error {
+	if s.store == nil {
+		return nil
+	}
+	ck := &datasetCheckpoint{
+		Dataset:  d.id,
+		Version:  prof.Version() + 1,
+		Snapshot: prof.Snapshot(),
+		Report:   report,
+	}
+	if err := s.store.writeCheckpoint(ck); err != nil {
+		return fmt.Errorf("checkpoint dataset %s: %w", d.id, err)
+	}
+	s.metrics.checkpoints.Add(1)
+	return nil
 }
 
 // handleAppendBatch implements POST /v1/datasets/{id}/batches: it folds a
@@ -318,10 +360,16 @@ func (s *Server) handleAppendBatch(w http.ResponseWriter, r *http.Request) {
 		d.report = report
 		d.version = prof.Version() + 1
 		d.mu.Unlock()
+		if err := s.checkpointDataset(d, prof, report); err != nil {
+			return res, nil, err
+		}
 		return res, report, nil
 	})
 
-	if !s.enqueueJob(w, j) {
+	// The admit record carries the batch rows themselves: recovery replays
+	// applied batches into the reloaded relation before resuming the
+	// checkpoint snapshot on top.
+	if !s.enqueueJob(w, j, &walRecord{Type: recDSJob, Job: j.id, Dataset: d.id, Kind: dsJobBatch, Rows: rows}) {
 		d.abandon(DatasetReady)
 		return
 	}

@@ -20,11 +20,20 @@ const (
 	StatePartial  = "partial"
 	StateFailed   = "failed"
 	StateCanceled = "canceled"
+	// StateLost is the terminal state of a journaled job that was queued or
+	// running when the process died and cannot be re-executed (dataset jobs
+	// carry in-memory session state). Clients polling the job ID get a
+	// definitive answer instead of a record the server forgot.
+	StateLost = "lost"
 )
 
 // terminal reports whether state is a final job state.
 func terminal(state string) bool {
-	return state == StateDone || state == StatePartial || state == StateFailed || state == StateCanceled
+	switch state {
+	case StateDone, StatePartial, StateFailed, StateCanceled, StateLost:
+		return true
+	}
+	return false
 }
 
 // job is the server-side record of one profiling request. The mutex guards
@@ -53,6 +62,12 @@ type job struct {
 	// state and error message. Dataset jobs use it to release the per-
 	// dataset busy flag and settle the dataset state.
 	done func(state, errMsg string)
+	// datasetID links a dataset job to its session (empty for plain jobs);
+	// journaled terminal records carry it so replay can settle the session.
+	datasetID string
+	// journaled marks jobs whose admission was written to the state WAL;
+	// only those journal their terminal transition too.
+	journaled bool
 
 	mu        sync.Mutex
 	state     string
@@ -142,6 +157,9 @@ const (
 	EventRetry = "retry"
 	// EventPanic records a recovered strategy panic, stack attached.
 	EventPanic = "panic"
+	// EventReplay marks a job that was re-enqueued from the journal after a
+	// restart: everything before it happened in a previous process.
+	EventReplay = "replay"
 )
 
 // eventLog is an append-only, subscribable record of a job's events. Readers

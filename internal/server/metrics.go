@@ -21,6 +21,16 @@ type metrics struct {
 	jobsRunning       atomic.Int64
 	datasetsCreated   atomic.Int64
 	datasetBatches    atomic.Int64
+
+	// Durability counters (all zero without Config.StateDir).
+	walRecords          atomic.Int64
+	walErrors           atomic.Int64
+	checkpoints         atomic.Int64
+	replayedJobs        atomic.Int64
+	lostJobs            atomic.Int64
+	recoveredSessions   atomic.Int64
+	tornTailTruncations atomic.Int64
+	corruptCheckpoints  atomic.Int64
 }
 
 // writeMetrics renders the Prometheus text exposition of the server's
@@ -50,6 +60,22 @@ func (s *Server) writeMetrics(w io.Writer) {
 		"Incremental profiling sessions created via POST /v1/datasets.", m.datasetsCreated.Load())
 	writeMetric(w, "profiled_dataset_batches_total", "counter",
 		"Batch appends accepted via POST /v1/datasets/{id}/batches.", m.datasetBatches.Load())
+	writeMetric(w, "profiled_wal_records_total", "counter",
+		"Records fsync'd to the state WAL (admissions, terminal transitions, markers).", m.walRecords.Load())
+	writeMetric(w, "profiled_wal_errors_total", "counter",
+		"State WAL appends that failed (admissions rejected, terminal records dropped).", m.walErrors.Load())
+	writeMetric(w, "profiled_checkpoints_written_total", "counter",
+		"Dataset checkpoints written atomically after completed dataset jobs.", m.checkpoints.Load())
+	writeMetric(w, "profiled_replayed_jobs_total", "counter",
+		"Journaled in-flight jobs re-enqueued during startup recovery.", m.replayedJobs.Load())
+	writeMetric(w, "profiled_lost_jobs_total", "counter",
+		"Journaled in-flight dataset jobs finished as lost during startup recovery.", m.lostJobs.Load())
+	writeMetric(w, "profiled_recovered_sessions_total", "counter",
+		"Dataset sessions restored ready (warm profiler resumed) during startup recovery.", m.recoveredSessions.Load())
+	writeMetric(w, "profiled_corrupt_tail_truncations_total", "counter",
+		"Torn WAL tails truncated during startup recovery (expected crash residue).", m.tornTailTruncations.Load())
+	writeMetric(w, "profiled_corrupt_checkpoints_total", "counter",
+		"Dataset checkpoints rejected as corrupt during startup recovery.", m.corruptCheckpoints.Load())
 	writeMetric(w, "profiled_result_cache_hits_total", "counter",
 		"Submissions served from the content-addressed result cache.", hits)
 	writeMetric(w, "profiled_result_cache_misses_total", "counter",

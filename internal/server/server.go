@@ -68,6 +68,12 @@ type Config struct {
 	// jobs failing on recovered panics, /healthz reports degraded until a
 	// job completes cleanly again (<= 0 selects 3).
 	DegradedAfter int
+	// StateDir enables crash-safe state: every admitted job and dataset
+	// session is journaled to a WAL in this directory, dataset profiler
+	// state is checkpointed after every completed job, and Open replays the
+	// directory on startup so sessions and job outcomes survive a kill -9.
+	// Empty keeps the server fully in-memory.
+	StateDir string
 	// Logf, when non-nil, receives one line per job transition.
 	Logf func(format string, args ...any)
 }
@@ -140,11 +146,33 @@ type Server struct {
 	// cfg.DegradedAfter, /healthz flips to degraded.
 	consecutivePanics atomic.Int64
 
+	// store is the durability layer behind Config.StateDir (nil without it).
+	// crashed is the kill -9 test hook: set, it suppresses the drain-time
+	// finalization so on-disk state looks exactly like a crash.
+	store   *store
+	crashed atomic.Bool
+
 	shutdownOnce sync.Once
+	finalizeOnce sync.Once
 }
 
-// New builds a Server with cfg and starts its worker pool.
+// New builds a Server with cfg and starts its worker pool. With
+// Config.StateDir set, use Open instead: New panics on a recovery error
+// (only reachable with a state directory) and discards the recovery stats.
 func New(cfg Config) *Server {
+	s, _, err := Open(cfg)
+	if err != nil {
+		panic(fmt.Sprintf("server.New: %v", err))
+	}
+	return s
+}
+
+// Open builds a Server with cfg, replays Config.StateDir (when set) to
+// restore dataset sessions and journaled jobs from before the last stop, and
+// starts the worker pool. Jobs that were queued or running at the crash are
+// re-enqueued (plain jobs) or finished as lost (dataset jobs) before any new
+// submission is admitted.
+func Open(cfg Config) (*Server, RecoveryStats, error) {
 	cfg.applyDefaults()
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
@@ -158,6 +186,30 @@ func New(cfg Config) *Server {
 		datasets:   make(map[string]*dataset),
 	}
 	s.routes()
+
+	var stats RecoveryStats
+	if cfg.StateDir != "" {
+		st, replay, err := openStore(cfg.StateDir)
+		if err != nil {
+			cancel()
+			return nil, stats, fmt.Errorf("open state dir %s: %w", cfg.StateDir, err)
+		}
+		s.store = st
+		var requeue []*job
+		stats, requeue = s.recoverState(replay)
+		// Replayed jobs enter the queue before the workers start, so they run
+		// ahead of anything admitted over HTTP. More in-flight jobs than the
+		// (possibly reconfigured) queue holds cannot be re-admitted — those
+		// are finished as lost rather than silently dropped.
+		for _, j := range requeue {
+			select {
+			case s.queue <- j:
+			default:
+				s.finish(j, StateLost, "replay: admission queue full", nil)
+			}
+		}
+	}
+
 	for i := 0; i < cfg.Workers; i++ {
 		s.wg.Add(1)
 		go func() {
@@ -167,7 +219,7 @@ func New(cfg Config) *Server {
 			}
 		}()
 	}
-	return s
+	return s, stats, nil
 }
 
 func (s *Server) routes() {
@@ -224,14 +276,19 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		s.wg.Wait()
 		close(done)
 	}()
+	var err error
 	select {
 	case <-done:
-		return nil
 	case <-ctx.Done():
 		s.cancelRuns()
 		<-done
-		return ctx.Err()
+		err = ctx.Err()
 	}
+	// Every worker has unwound: no job can journal or checkpoint behind our
+	// back anymore, so the durable state can be finalized (final checkpoints,
+	// clean-shutdown marker, WAL close). Exactly once across repeated calls.
+	s.finalizeOnce.Do(s.finalizeStore)
+	return err
 }
 
 // --- job lifecycle ---
@@ -388,6 +445,9 @@ func (s *Server) announce(j *job, state, errMsg string) {
 		s.metrics.jobsCanceled.Add(1)
 	}
 	s.logf("job %s %s%s", j.id, state, suffixIf(errMsg))
+	// The terminal record lands after any checkpoint the job's exec wrote:
+	// a journaled "done" therefore always has its durable state on disk.
+	s.journalEnd(j, state, errMsg)
 }
 
 func suffixIf(msg string) string {
@@ -524,12 +584,15 @@ func (s *Server) resolveTimeout(w http.ResponseWriter, requested float64) (time.
 	return timeout, true
 }
 
-// enqueueJob admits j: the draining check, the non-blocking send and the
-// registration happen under one critical section, so Shutdown's queued-job
-// sweep (same lock) sees every job that is in the queue, and no send can be
-// mid-flight when Shutdown closes the channel. Rejections (503 draining,
-// 429 full) are written here.
-func (s *Server) enqueueJob(w http.ResponseWriter, j *job) bool {
+// enqueueJob admits j: the draining check, the journal write, the send and
+// the registration happen under one critical section, so Shutdown's
+// queued-job sweep (same lock) sees every job that is in the queue, and no
+// send can be mid-flight when Shutdown closes the channel. The admit record
+// (when the server is durable) is fsync'd BEFORE the job becomes runnable: a
+// crash after the client's 202 can therefore never forget the job, and a
+// worker can never finish a job whose admission was not journaled yet.
+// Rejections (503 draining or journal failure, 429 full) are written here.
+func (s *Server) enqueueJob(w http.ResponseWriter, j *job, admit *walRecord) bool {
 	s.mu.Lock()
 	if s.draining {
 		s.mu.Unlock()
@@ -537,11 +600,10 @@ func (s *Server) enqueueJob(w http.ResponseWriter, j *job) bool {
 		writeJSON(w, http.StatusServiceUnavailable, apiError{Error: "server is shutting down"})
 		return false
 	}
-	select {
-	case s.queue <- j:
-		s.registerLocked(j)
-		s.mu.Unlock()
-	default:
+	// Capacity check instead of a non-blocking send: every send happens
+	// under s.mu and workers only drain, so a free slot observed here cannot
+	// vanish before the send below.
+	if len(s.queue) == cap(s.queue) {
 		s.mu.Unlock()
 		s.metrics.rejectedQueueFull.Add(1)
 		w.Header().Set("Retry-After", "1")
@@ -550,6 +612,19 @@ func (s *Server) enqueueJob(w http.ResponseWriter, j *job) bool {
 		})
 		return false
 	}
+	if s.store != nil && admit != nil {
+		if err := s.journal(*admit); err != nil {
+			s.mu.Unlock()
+			s.logf("job %s rejected (503): journal admit: %v", j.id, err)
+			w.Header().Set("Retry-After", "1")
+			writeJSON(w, http.StatusServiceUnavailable, apiError{Error: "state journal unavailable: " + err.Error()})
+			return false
+		}
+		j.journaled = true
+	}
+	s.queue <- j
+	s.registerLocked(j)
+	s.mu.Unlock()
 	s.metrics.jobsSubmitted.Add(1)
 	j.events.append(JobEvent{Event: core.Event{Type: EventState}, State: StateQueued})
 	return true
@@ -613,6 +688,16 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		j.events.append(JobEvent{Event: core.Event{Type: EventState}, State: StateDone})
 		j.events.close()
 		s.register(j)
+		// Best-effort journal so the job ID answers "done" after a restart
+		// too (the report itself lives only in the in-memory cache); the
+		// client already has the result in hand, so a journal failure does
+		// not reject the request.
+		if err := s.journal(walRecord{Type: recJob, Job: j.id, Req: &j.req}); err == nil {
+			j.journaled = true
+			s.journalEnd(j, StateDone, "")
+		} else if s.store != nil {
+			s.logf("journal: cache-hit job %s: %v", j.id, err)
+		}
 		s.metrics.jobsSubmitted.Add(1)
 		s.metrics.jobsDone.Add(1)
 		s.logf("job %s done (result cache hit)", j.id)
@@ -621,7 +706,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	if !s.enqueueJob(w, j) {
+	if !s.enqueueJob(w, j, &walRecord{Type: recJob, Job: j.id, Req: &j.req}) {
 		return
 	}
 	s.logf("job %s queued: algorithm=%s dataset=%s sha256=%s", j.id, req.Algorithm, req.Dataset, key.DatasetSHA256[:12])

@@ -1,0 +1,212 @@
+#!/bin/sh
+# crash_profiled.sh — kill -9 recovery harness for the profiled daemon: run
+# it with -state-dir, SIGKILL it at randomized points while batches are in
+# flight, restart, and assert the recovered state is equivalent to an
+# uninterrupted run. Each cycle the restarted daemon must:
+#
+#   - serve every dataset it ever acknowledged, with the profile report
+#     byte-equivalent to profiling the applied rows from scratch (the `profile`
+#     CLI on a tracked copy of the data is the uninterrupted reference);
+#   - answer for every job ID it ever handed out — done, failed, or "lost",
+#     never a 404 or a hang;
+#   - poison (not silently replay) a session whose in-flight batch was lost.
+#
+# Two final phases corrupt the state on disk directly: a torn WAL tail must
+# be truncated and metered, and a flipped byte in a checkpoint must fail the
+# session with the corruption counted — never replayed as if valid.
+#
+# Requires curl and jq. Run from the repo root.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+for tool in curl jq; do
+	if ! command -v "$tool" >/dev/null 2>&1; then
+		echo "crash_profiled: $tool not found, skipping" >&2
+		exit 0
+	fi
+done
+
+workdir=$(mktemp -d)
+server_pid=""
+trap 'kill -9 "$server_pid" 2>/dev/null || true; rm -rf "$workdir"' EXIT INT TERM
+
+echo "== build =="
+go build -o "$workdir/profiled" ./cmd/profiled
+go build -o "$workdir/profile" ./cmd/profile
+
+statedir="$workdir/state"
+cur="$workdir/cur.csv"
+cat > "$cur" <<'EOF'
+id,zip,city
+1,10115,Berlin
+2,10115,Berlin
+3,14467,Potsdam
+4,69117,Heidelberg
+EOF
+
+start_daemon() {
+	: > "$workdir/out.log"
+	: > "$workdir/err.log"
+	"$workdir/profiled" -addr 127.0.0.1:0 -workers 1 -state-dir "$statedir" \
+		> "$workdir/out.log" 2> "$workdir/err.log" &
+	server_pid=$!
+	addr=""
+	for _ in $(seq 1 100); do
+		addr=$(sed -n 's/^profiled: listening on //p' "$workdir/out.log" | head -n1)
+		[ -n "$addr" ] && break
+		sleep 0.1
+	done
+	if [ -z "$addr" ]; then
+		echo "crash_profiled: server never reported its address" >&2
+		cat "$workdir/err.log" >&2
+		exit 1
+	fi
+	base="http://$addr"
+}
+
+kill_daemon() {
+	kill -9 "$server_pid" 2>/dev/null || true
+	wait "$server_pid" 2>/dev/null || true
+	server_pid=""
+}
+
+# wait_settled ID — polls the dataset until no job is in flight (ready or
+# failed) and echoes "<state> <version>".
+wait_settled() {
+	for _ in $(seq 1 100); do
+		st=$(curl -fsS "$base/v1/datasets/$1" | jq -r '"\(.state) \(.version)"')
+		case "$st" in ready*|failed*) echo "$st"; return ;; esac
+		sleep 0.1
+	done
+	echo "crash_profiled: dataset $1 never settled" >&2
+	exit 1
+}
+
+# assert_equivalent ID — the daemon's profile for ID must match the profile
+# CLI run from scratch on the tracked CSV (rows and all three dependency
+# classes, order-insensitively).
+assert_equivalent() {
+	curl -fsS "$base/v1/datasets/$1/profile" | jq -S \
+		'.report | {rows, inds: (.inds // [] | map(tostring) | sort), uccs: (.uccs // [] | map(tostring) | sort), fds: (.fds // [] | map(tostring) | sort)}' \
+		> "$workdir/got.json"
+	"$workdir/profile" -format json "$cur" | jq -S \
+		'{rows, inds: (.inds // [] | map(tostring) | sort), uccs: (.uccs // [] | map(tostring) | sort), fds: (.fds // [] | map(tostring) | sort)}' \
+		> "$workdir/want.json"
+	if ! diff -u "$workdir/want.json" "$workdir/got.json"; then
+		echo "crash_profiled: recovered profile differs from the uninterrupted reference" >&2
+		exit 1
+	fi
+}
+
+# assert_no_dangling ID — every job the dataset lists must answer with a
+# terminal state after the restart.
+assert_no_dangling() {
+	for jid in $(curl -fsS "$base/v1/datasets/$1" | jq -r '.job_ids[]'); do
+		jstate=$(curl -fsS "$base/v1/jobs/$jid" | jq -r '.state')
+		case "$jstate" in
+		done|partial|failed|canceled|lost) ;;
+		*)
+			echo "crash_profiled: job $jid answers '$jstate' after restart, want a terminal state" >&2
+			exit 1
+			;;
+		esac
+	done
+}
+
+create_dataset() {
+	jq -Rs '{csv: .}' < "$cur" > "$workdir/create.json"
+	dsid=$(curl -fsS -X POST -H 'Content-Type: application/json' \
+		--data-binary @"$workdir/create.json" "$base/v1/datasets" | jq -r '.id')
+	set -- $(wait_settled "$dsid")
+	if [ "$1" != "ready" ]; then
+		echo "crash_profiled: dataset $dsid failed its initial profile" >&2
+		exit 1
+	fi
+}
+
+echo "== phase 1: $((5)) kill -9 cycles mid-batch =="
+start_daemon
+create_dataset
+cycles=5
+applied=0
+poisoned=0
+i=0
+while [ "$i" -lt "$cycles" ]; do
+	i=$((i + 1))
+	ver_before=$(curl -fsS "$base/v1/datasets/$dsid" | jq -r '.version')
+	batch="$((100 + i)),10115,Berlin
+$((200 + i)),$((70000 + i)),Town$i"
+	printf '%s\n' "$batch" | jq -Rs '{csv: .}' > "$workdir/batch.json"
+	curl -fsS -X POST -H 'Content-Type: application/json' \
+		--data-binary @"$workdir/batch.json" "$base/v1/datasets/$dsid/batches" > /dev/null
+
+	# Kill at a randomized point while the batch is (maybe still) in flight.
+	r=$(od -An -N1 -tu1 /dev/urandom | tr -d ' ')
+	sleep "$(awk "BEGIN{printf \"%.3f\", $r / 1250}")" # 0 – 0.204s
+	kill_daemon
+
+	start_daemon
+	grep -q 'recovery: state-dir=' "$workdir/err.log" || {
+		echo "crash_profiled: restarted daemon logged no recovery line" >&2
+		exit 1
+	}
+	set -- $(wait_settled "$dsid")
+	state=$1 ver=$2
+	if [ "$state" = "ready" ]; then
+		if [ "$ver" -le "$ver_before" ]; then
+			echo "crash_profiled: cycle $i: ready but version $ver did not advance past $ver_before" >&2
+			exit 1
+		fi
+		# The batch survived the crash: fold it into the reference CSV.
+		printf '%s\n' "$batch" >> "$cur"
+		applied=$((applied + 1))
+	else
+		# The in-flight batch was lost: the session must be poisoned, its
+		# last good report (the pre-batch state) still served.
+		poisoned=$((poisoned + 1))
+	fi
+	assert_equivalent "$dsid"
+	assert_no_dangling "$dsid"
+	echo "cycle $i: $state v$ver (reference: $(($(wc -l < "$cur") - 1)) rows) — equivalent"
+
+	if [ "$state" = "failed" ]; then
+		# A poisoned session stays poisoned; continue the cycles on a fresh
+		# dataset built from the reference rows.
+		create_dataset
+	fi
+done
+echo "phase 1 passed: $applied applied, $poisoned lost-and-poisoned, all equivalent"
+
+echo "== phase 2: torn WAL tail =="
+kill_daemon
+printf 'torn-garbage' >> "$statedir/profiled.wal"
+start_daemon
+set -- $(wait_settled "$dsid")
+if [ "$1" != "ready" ]; then
+	echo "crash_profiled: torn tail broke an intact session (state $1)" >&2
+	exit 1
+fi
+curl -fsS "$base/metrics" | grep -q '^profiled_corrupt_tail_truncations_total 1$'
+grep -q 'truncated .* torn WAL tail' "$workdir/err.log"
+assert_equivalent "$dsid"
+echo "torn tail truncated, logged, and metered; state intact"
+
+echo "== phase 3: corrupt checkpoint =="
+kill_daemon
+# Flip one byte in the middle of the dataset's checkpoint payload.
+size=$(wc -c < "$statedir/$dsid.ckpt")
+printf '\377' | dd of="$statedir/$dsid.ckpt" bs=1 seek=$((size / 2)) conv=notrunc 2>/dev/null
+start_daemon
+set -- $(wait_settled "$dsid")
+if [ "$1" != "failed" ]; then
+	echo "crash_profiled: corrupt checkpoint replayed as '$1', want failed" >&2
+	exit 1
+fi
+curl -fsS "$base/v1/datasets/$dsid" | jq -e '.error | test("corrupt")' > /dev/null
+curl -fsS "$base/metrics" | grep -q '^profiled_corrupt_checkpoints_total 1$'
+grep -q 'recovery: dataset .*corrupt' "$workdir/err.log"
+echo "corrupt checkpoint detected, session failed, corruption metered"
+
+kill_daemon
+echo "crash_profiled: all checks passed"

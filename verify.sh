@@ -59,10 +59,19 @@ go run ./cmd/experiments -incremental -incremental-rows 5000 -incremental-json '
 echo "== chaos suite (fault injection, race) =="
 go test -race -count=1 -run 'TestChaos|TestJobDeadlinePartialResult' ./internal/server/
 
+echo "== WAL fault-injection and torn-write suite (race) =="
+go test -race -count=1 ./internal/durable/
+
+echo "== restart-semantics suite (race) =="
+go test -race -count=1 -run 'TestRestart' ./internal/server/
+
 echo "== profiled service smoke test =="
 ./scripts/smoke_profiled.sh
 
 echo "== profiled chaos test =="
 ./scripts/chaos_profiled.sh
+
+echo "== profiled kill -9 recovery test =="
+./scripts/crash_profiled.sh
 
 echo "verify.sh: all checks passed"

@@ -8,7 +8,10 @@
 //	profiled [-addr host:port] [-workers N] [-queue N] [-job-timeout d]
 //	         [-max-job-timeout d] [-shutdown-timeout d] [-data dir]
 //	         [-state-dir dir] [-cache N] [-max-body bytes]
-//	         [-max-cache-bytes N] [-retries N] [-retry-backoff d] [-quiet]
+//	         [-max-cache-bytes N] [-retries N] [-retry-backoff d]
+//	         [-queue-target d] [-breaker-threshold N] [-breaker-cooldown d]
+//	         [-mem-soft bytes] [-mem-hard bytes] [-http-read-timeout d]
+//	         [-quiet]
 //
 // API:
 //
@@ -23,6 +26,15 @@
 // SIGINT/SIGTERM starts a graceful shutdown: admission flips to 503, queued
 // jobs are canceled, and in-flight jobs get -shutdown-timeout to finish
 // before their contexts are cut.
+//
+// The daemon defends itself under overload: admission learns per-algorithm
+// service times and rejects (429, honest Retry-After) jobs predicted to miss
+// their deadline, queue waits stuck above -queue-target shed the oldest
+// queued job, repeated failures of one (dataset, algorithm) pair open a
+// circuit breaker that fast-fails with 422 until -breaker-cooldown passes,
+// and heap growth past -mem-soft / -mem-hard degrades new jobs or refuses
+// large ones with 503. Retried submissions carrying an Idempotency-Key
+// header (or idempotency_key field) dedup onto the original job.
 //
 // With -state-dir, the daemon is crash-safe: admitted jobs and dataset
 // sessions are journaled to a checksummed, fsync'd WAL and dataset profiler
@@ -65,6 +77,12 @@ func main() {
 		maxCacheBytes   = flag.Int64("max-cache-bytes", 0, "per-job PLI cache byte budget (0 = engine default, -1 = unbudgeted); over budget the cache sheds and recomputes")
 		retries         = flag.Int("retries", 2, "re-runs of a job failing on a transient error (0 = none)")
 		retryBackoff    = flag.Duration("retry-backoff", 50*time.Millisecond, "sleep before the first retry, doubled per attempt")
+		queueTarget     = flag.Duration("queue-target", 2*time.Second, "CoDel queue-wait target; sustained waits above it shed the oldest queued job")
+		breakerThresh   = flag.Int("breaker-threshold", 3, "consecutive failures of one (dataset, algorithm) pair before its circuit breaker opens")
+		breakerCooldown = flag.Duration("breaker-cooldown", 30*time.Second, "how long an open circuit breaker fast-fails (422) before a trial probe is allowed")
+		memSoft         = flag.Int64("mem-soft", 0, "soft heap watermark in bytes; above it new jobs run degraded (0 = off)")
+		memHard         = flag.Int64("mem-hard", 0, "hard heap watermark in bytes; above it large submissions get 503 (0 = off)")
+		httpReadTimeout = flag.Duration("http-read-timeout", 30*time.Second, "HTTP read timeout (full request); header read is capped at 10s")
 		quiet           = flag.Bool("quiet", false, "suppress per-job log lines")
 	)
 	flag.Parse()
@@ -87,18 +105,23 @@ func main() {
 		*retries = -1 // Config: negative disables retries
 	}
 	srv, recovery, err := server.Open(server.Config{
-		Workers:        *workers,
-		QueueDepth:     *queueDepth,
-		DefaultTimeout: *jobTimeout,
-		MaxTimeout:     *maxJobTimeout,
-		DataDir:        *dataDir,
-		StateDir:       *stateDir,
-		CacheEntries:   *cacheEntries,
-		MaxBodyBytes:   *maxBody,
-		MaxCacheBytes:  *maxCacheBytes,
-		RetryAttempts:  *retries,
-		RetryBackoff:   *retryBackoff,
-		Logf:           logf,
+		Workers:          *workers,
+		QueueDepth:       *queueDepth,
+		DefaultTimeout:   *jobTimeout,
+		MaxTimeout:       *maxJobTimeout,
+		DataDir:          *dataDir,
+		StateDir:         *stateDir,
+		CacheEntries:     *cacheEntries,
+		MaxBodyBytes:     *maxBody,
+		MaxCacheBytes:    *maxCacheBytes,
+		RetryAttempts:    *retries,
+		RetryBackoff:     *retryBackoff,
+		QueueTarget:      *queueTarget,
+		BreakerThreshold: *breakerThresh,
+		BreakerCooldown:  *breakerCooldown,
+		MemSoftBytes:     *memSoft,
+		MemHardBytes:     *memHard,
+		Logf:             logf,
 	})
 	if err != nil {
 		logger.Printf("open: %v", err)
@@ -124,7 +147,16 @@ func main() {
 	// discover the port.
 	fmt.Printf("profiled: listening on %s\n", ln.Addr())
 
-	httpSrv := &http.Server{Handler: srv.Handler()}
+	// Slow-client protection: a peer that trickles its headers or body can
+	// no longer pin a connection open indefinitely. WriteTimeout stays unset
+	// on purpose — /v1/jobs/{id}/events streams for as long as a job runs,
+	// and a write deadline would sever every long-lived event stream.
+	httpSrv := &http.Server{
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       *httpReadTimeout,
+		IdleTimeout:       120 * time.Second,
+	}
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- httpSrv.Serve(ln) }()
 

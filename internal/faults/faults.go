@@ -79,6 +79,22 @@ const (
 	// temp file and the atomic rename: the previous checkpoint must survive
 	// untouched and the temp file must be cleaned up.
 	CheckpointRename Point = "checkpoint.rename"
+	// AdmissionEstimate fires in the server's deadline-aware admission
+	// estimator. Armed (error/transient), the estimator reports an unbounded
+	// predicted service time, so every deadline-carrying submission is
+	// rejected at admission with 429 — the deterministic way to drive the
+	// predicted-deadline rejection path in tests.
+	AdmissionEstimate Point = "admission.estimate"
+	// BreakerTrip fires when the server's per-(dataset, algorithm) circuit
+	// breaker records a failure. Armed (error/transient), the breaker opens on
+	// that first failure regardless of its configured threshold.
+	BreakerTrip Point = "breaker.trip"
+	// MemWatermark fires in the server's memory governor. Armed, it overrides
+	// the sampled heap level: transient mode simulates heap above the soft
+	// watermark (new jobs run degraded), error mode simulates heap above the
+	// hard watermark (large submissions are refused with 503). Panic mode is
+	// not meaningful here and is treated like error.
+	MemWatermark Point = "mem.watermark"
 )
 
 // Mode selects what an armed point does when it fires.
@@ -261,6 +277,19 @@ func Check(point Point) {
 	if e := trigger(point); e != nil {
 		panic(e)
 	}
+}
+
+// Sample fires point at a site that maps the injected mode onto its own
+// behavior ladder (the server's memory governor turns transient into "above
+// the soft watermark" and error into "above the hard one"): it consumes one
+// unit of budget and reports the armed mode without ever panicking. The
+// boolean is false when the point is unarmed or exhausted.
+func Sample(point Point) (Mode, bool) {
+	e := trigger(point)
+	if e == nil {
+		return "", false
+	}
+	return e.Mode, true
 }
 
 // Degraded fires point at a degradable site: it reports true (dependency

@@ -200,8 +200,12 @@ func TestChaosPanicIsolatedWithStack(t *testing.T) {
 // consecutive panic-failures flip /healthz to degraded, one clean completion
 // flips it back.
 func TestChaosWatchdogDegradesAndRecovers(t *testing.T) {
+	// BreakerThreshold is raised above the panic budget: the three failures
+	// all hit one (dataset, algorithm) key, and the default threshold would
+	// open its circuit breaker before the recovery submission — this test
+	// wants the watchdog's verdict alone.
 	armFaults(t, "pli.intersect:panic:3")
-	_, ts := newTestServer(t, Config{Workers: 1, DegradedAfter: 3})
+	_, ts := newTestServer(t, Config{Workers: 1, DegradedAfter: 3, BreakerThreshold: 10})
 
 	for i := 0; i < 3; i++ {
 		_, v := submit(t, ts, fmt.Sprintf(`{"csv": %q}`, testCSV))

@@ -167,7 +167,7 @@ func (s *Server) handleCreateDataset(w http.ResponseWriter, r *http.Request) {
 	// normalize validates and resolves the dataset bytes; the cache key is
 	// unused — an incremental session always needs the warm profiler, so it
 	// never short-circuits through the result cache.
-	_, src, err := req.normalize(s.cfg.DataDir)
+	_, src, _, err := req.normalize(s.cfg.DataDir)
 	if err != nil {
 		s.logf("dataset rejected (400): %v", err)
 		writeJSON(w, http.StatusBadRequest, apiError{Error: err.Error()})
@@ -205,7 +205,7 @@ func (s *Server) handleCreateDataset(w http.ResponseWriter, r *http.Request) {
 	if s.store != nil {
 		if err := s.journal(walRecord{Type: recDataset, Dataset: d.id, Req: &req}); err != nil {
 			s.logf("dataset rejected (503): journal create: %v", err)
-			w.Header().Set("Retry-After", "1")
+			s.setRetryAfter(w)
 			writeJSON(w, http.StatusServiceUnavailable, apiError{Error: "state journal unavailable: " + err.Error()})
 			return
 		}

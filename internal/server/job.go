@@ -68,6 +68,20 @@ type job struct {
 	// journaled marks jobs whose admission was written to the state WAL;
 	// only those journal their terminal transition too.
 	journaled bool
+	// idemKey is the submission's idempotency key (empty without one).
+	// While the job is retained, the server's dedup table maps the key back
+	// to it, so retried submissions replay this job instead of enqueueing a
+	// duplicate.
+	idemKey string
+	// breakerKey identifies the (dataset fingerprint, algorithm) circuit
+	// breaker this job's outcome feeds; hasBreaker gates it (dataset jobs
+	// and replayed stubs stay outside the breaker).
+	breakerKey breakerKey
+	hasBreaker bool
+	// degraded marks a job admitted above the soft memory watermark: the
+	// run gets a shrunken PLI cache budget and the sampled-check prefilter
+	// forced on (results stay exact — both knobs trade speed for footprint).
+	degraded bool
 
 	mu        sync.Mutex
 	state     string
@@ -99,6 +113,8 @@ func (j *job) view() JobView {
 		Dataset:     j.req.Dataset,
 		DatasetSHA:  j.key.DatasetSHA256,
 		CacheHit:    j.cacheHit,
+		Degraded:    j.degraded,
+		IdemKey:     j.idemKey,
 		Error:       j.err,
 		SubmittedAt: j.submitted,
 		Result:      j.result,
@@ -122,6 +138,8 @@ type JobView struct {
 	Dataset     string       `json:"dataset"`
 	DatasetSHA  string       `json:"dataset_sha256"`
 	CacheHit    bool         `json:"cache_hit,omitempty"`
+	Degraded    bool         `json:"degraded,omitempty"`
+	IdemKey     string       `json:"idempotency_key,omitempty"`
 	Error       string       `json:"error,omitempty"`
 	SubmittedAt time.Time    `json:"submitted_at"`
 	StartedAt   *time.Time   `json:"started_at,omitempty"`

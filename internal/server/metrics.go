@@ -4,10 +4,12 @@ import (
 	"fmt"
 	"io"
 	"sync/atomic"
+	"time"
 )
 
 // metrics holds the server's monotonic counters. Gauges (queue depth,
-// running jobs) are derived live in writeMetrics rather than stored.
+// running jobs, breaker and watermark states) are derived live in
+// writeMetrics rather than stored.
 type metrics struct {
 	jobsSubmitted     atomic.Int64
 	jobsDone          atomic.Int64
@@ -22,6 +24,21 @@ type metrics struct {
 	datasetsCreated   atomic.Int64
 	datasetBatches    atomic.Int64
 
+	// Overload-resilience counters: the four admission rejection reasons
+	// (rejectedQueueFull doubles as the queue_full reason), CoDel sheds,
+	// dequeue-time doomed-job failures, idempotent replays, breaker
+	// fast-fails.
+	rejectedPredicted   atomic.Int64
+	rejectedBreaker     atomic.Int64
+	rejectedMemPressure atomic.Int64
+	jobsShed            atomic.Int64
+	jobsDoomedInQueue   atomic.Int64
+	idemReplays         atomic.Int64
+	breakerFastFails    atomic.Int64
+
+	// queueWait observes the sojourn of every job a worker dequeues.
+	queueWait histogram
+
 	// Durability counters (all zero without Config.StateDir).
 	walRecords          atomic.Int64
 	walErrors           atomic.Int64
@@ -32,6 +49,49 @@ type metrics struct {
 	tornTailTruncations atomic.Int64
 	corruptCheckpoints  atomic.Int64
 }
+
+// queueWaitBuckets are the histogram's upper bounds in seconds (+Inf is
+// implicit): fine-grained around the healthy sub-second range, coarse in
+// overload territory. An array, not a slice, so its length is a constant the
+// histogram's counter array can size itself from.
+var queueWaitBuckets = [...]float64{0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60}
+
+// histogram is a fixed-bucket Prometheus histogram over float64
+// observations. Counts are per-bucket (cumulated at render time) and the
+// sum is kept in microseconds so the whole structure stays lock-free.
+type histogram struct {
+	counts    [len(queueWaitBuckets) + 1]atomic.Int64 // last slot = +Inf
+	sumMicros atomic.Int64
+	total     atomic.Int64
+}
+
+func (h *histogram) observe(v float64) {
+	idx := len(queueWaitBuckets)
+	for i, le := range queueWaitBuckets {
+		if v <= le {
+			idx = i
+			break
+		}
+	}
+	h.counts[idx].Add(1)
+	h.sumMicros.Add(int64(v * 1e6))
+	h.total.Add(1)
+}
+
+func (h *histogram) write(w io.Writer, name, help string) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
+	cum := int64(0)
+	for i, le := range queueWaitBuckets {
+		cum += h.counts[i].Load()
+		fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, formatLE(le), cum)
+	}
+	cum += h.counts[len(queueWaitBuckets)].Load()
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, cum)
+	fmt.Fprintf(w, "%s_sum %g\n", name, float64(h.sumMicros.Load())/1e6)
+	fmt.Fprintf(w, "%s_count %d\n", name, h.total.Load())
+}
+
+func formatLE(le float64) string { return fmt.Sprintf("%g", le) }
 
 // writeMetrics renders the Prometheus text exposition of the server's
 // counters and gauges.
@@ -47,7 +107,7 @@ func (s *Server) writeMetrics(w io.Writer) {
 	writeMetric(w, "profiled_jobs_failed_total", "counter",
 		"Jobs that finished with an error (including per-job deadline hits).", m.jobsFailed.Load())
 	writeMetric(w, "profiled_jobs_canceled_total", "counter",
-		"Jobs canceled via DELETE or server shutdown.", m.jobsCanceled.Load())
+		"Jobs canceled via DELETE, server shutdown, or overload shedding.", m.jobsCanceled.Load())
 	writeMetric(w, "profiled_job_retries_total", "counter",
 		"Job re-runs triggered by transient failures.", m.jobRetries.Load())
 	writeMetric(w, "profiled_panics_total", "counter",
@@ -56,6 +116,30 @@ func (s *Server) writeMetrics(w io.Writer) {
 		"Submissions rejected with 429 because the queue was full.", m.rejectedQueueFull.Load())
 	writeMetric(w, "profiled_jobs_rejected_draining_total", "counter",
 		"Submissions rejected with 503 during shutdown.", m.rejectedDraining.Load())
+
+	// Admission rejections broken out by reason (queue_full mirrors the
+	// dedicated counter above; the label set is the operator's one-stop
+	// overload dashboard).
+	fmt.Fprintf(w, "# HELP profiled_admission_rejections_total Submissions rejected at admission, by reason.\n")
+	fmt.Fprintf(w, "# TYPE profiled_admission_rejections_total counter\n")
+	fmt.Fprintf(w, "profiled_admission_rejections_total{reason=\"queue_full\"} %d\n", m.rejectedQueueFull.Load())
+	fmt.Fprintf(w, "profiled_admission_rejections_total{reason=\"predicted_deadline\"} %d\n", m.rejectedPredicted.Load())
+	fmt.Fprintf(w, "profiled_admission_rejections_total{reason=\"breaker_open\"} %d\n", m.rejectedBreaker.Load())
+	fmt.Fprintf(w, "profiled_admission_rejections_total{reason=\"mem_pressure\"} %d\n", m.rejectedMemPressure.Load())
+
+	writeMetric(w, "profiled_jobs_shed_total", "counter",
+		"Queued jobs shed (canceled) by CoDel when queue sojourn stayed above target.", m.jobsShed.Load())
+	writeMetric(w, "profiled_jobs_doomed_in_queue_total", "counter",
+		"Jobs whose deadline elapsed while queued, failed at dequeue without running.", m.jobsDoomedInQueue.Load())
+	writeMetric(w, "profiled_idempotent_replays_total", "counter",
+		"Submissions deduplicated onto an existing job via an idempotency key.", m.idemReplays.Load())
+	writeMetric(w, "profiled_breaker_trips_total", "counter",
+		"Circuit-breaker open transitions (per dataset fingerprint + algorithm).", s.breakers.tripsTotal())
+	writeMetric(w, "profiled_breaker_fast_fails_total", "counter",
+		"Submissions fast-failed with 422 by an open circuit breaker.", m.breakerFastFails.Load())
+	m.queueWait.write(w, "profiled_queue_wait_seconds",
+		"Queue sojourn of dequeued jobs (admission to worker pickup).")
+
 	writeMetric(w, "profiled_datasets_created_total", "counter",
 		"Incremental profiling sessions created via POST /v1/datasets.", m.datasetsCreated.Load())
 	writeMetric(w, "profiled_dataset_batches_total", "counter",
@@ -90,6 +174,18 @@ func (s *Server) writeMetrics(w io.Writer) {
 		"Jobs waiting in the admission queue.", int64(len(s.queue)))
 	writeMetric(w, "profiled_jobs_retained", "gauge",
 		"Job records currently retained for status queries.", int64(s.jobCount()))
+
+	open, halfOpen := s.breakers.counts(time.Now())
+	writeMetric(w, "profiled_breakers_open", "gauge",
+		"Circuit breakers currently open (fast-failing their key).", int64(open))
+	writeMetric(w, "profiled_breakers_half_open", "gauge",
+		"Circuit breakers past cooldown, waiting on (or running) a trial probe.", int64(halfOpen))
+	level, heap := s.governor.last()
+	writeMetric(w, "profiled_mem_watermark_level", "gauge",
+		"Memory governor level: 0 healthy, 1 above soft watermark, 2 above hard.", int64(level))
+	writeMetric(w, "profiled_mem_heap_bytes", "gauge",
+		"Live heap bytes behind the governor's last sample (0 with watermarks unset).", heap)
+
 	degraded := int64(0)
 	if s.consecutivePanics.Load() >= int64(s.cfg.DegradedAfter) {
 		degraded = 1

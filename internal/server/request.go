@@ -28,6 +28,13 @@ type jobRequest struct {
 	Dataset string `json:"dataset,omitempty"`
 	// Algorithm is a strategy name from the engine registry (default muds).
 	Algorithm string `json:"algorithm,omitempty"`
+	// IdempotencyKey deduplicates retried submissions: two submissions
+	// carrying the same key map onto one job — same ID, same event stream —
+	// so a client retrying after a 503 or a dropped connection cannot
+	// double-submit work. Also settable via the Idempotency-Key header
+	// (the header wins when both are present). Journaled with the
+	// admission, so dedup survives a crash.
+	IdempotencyKey string `json:"idempotency_key,omitempty"`
 
 	// CSV parsing options.
 	HasHeader     *bool  `json:"has_header,omitempty"` // default true
@@ -72,33 +79,42 @@ func badRequest(format string, args ...any) error {
 	return requestError{msg: fmt.Sprintf(format, args...)}
 }
 
+// maxIdempotencyKeyLen bounds client-supplied idempotency keys: the keys
+// are journaled with every admission, so an unbounded one is a WAL-bloat
+// vector.
+const maxIdempotencyKeyLen = 256
+
 // normalize validates r, applies defaults, resolves the dataset bytes (from
 // inline CSV or a file under dataDir), and returns the content-addressed
-// cache key plus a memoised engine source over the bytes.
-func (r *jobRequest) normalize(dataDir string) (cacheKey, *core.MemoSource, error) {
+// cache key, a memoised engine source over the bytes, and the dataset size
+// in bytes (the memory governor's large-submission gate keys off it).
+func (r *jobRequest) normalize(dataDir string) (cacheKey, *core.MemoSource, int64, error) {
 	var key cacheKey
 
 	if r.Algorithm == "" {
 		r.Algorithm = core.StrategyMuds
 	}
 	if _, ok := core.Lookup(r.Algorithm); !ok {
-		return key, nil, badRequest("unknown algorithm %q (want one of %s)",
+		return key, nil, 0, badRequest("unknown algorithm %q (want one of %s)",
 			r.Algorithm, strings.Join(core.Strategies(), "|"))
 	}
 	if r.Separator == "" {
 		r.Separator = ","
 	}
 	if len(r.Separator) != 1 {
-		return key, nil, badRequest("separator must be a single character")
+		return key, nil, 0, badRequest("separator must be a single character")
 	}
 	if r.MaxRows < 0 {
-		return key, nil, badRequest("max_rows must be >= 0")
+		return key, nil, 0, badRequest("max_rows must be >= 0")
 	}
 	if r.TimeoutSeconds < 0 {
-		return key, nil, badRequest("timeout_seconds must be >= 0")
+		return key, nil, 0, badRequest("timeout_seconds must be >= 0")
 	}
 	if r.MaxCacheBytes < -1 {
-		return key, nil, badRequest("max_cache_bytes must be >= -1 (-1 disables the budget)")
+		return key, nil, 0, badRequest("max_cache_bytes must be >= -1 (-1 disables the budget)")
+	}
+	if len(r.IdempotencyKey) > maxIdempotencyKeyLen {
+		return key, nil, 0, badRequest("idempotency_key must be at most %d bytes", maxIdempotencyKeyLen)
 	}
 	hasHeader := true
 	if r.HasHeader != nil {
@@ -108,7 +124,7 @@ func (r *jobRequest) normalize(dataDir string) (cacheKey, *core.MemoSource, erro
 	var data []byte
 	switch {
 	case r.CSV != "" && r.Path != "":
-		return key, nil, badRequest("csv and path are mutually exclusive")
+		return key, nil, 0, badRequest("csv and path are mutually exclusive")
 	case r.CSV != "":
 		data = []byte(r.CSV)
 		if r.Dataset == "" {
@@ -116,21 +132,21 @@ func (r *jobRequest) normalize(dataDir string) (cacheKey, *core.MemoSource, erro
 		}
 	case r.Path != "":
 		if dataDir == "" {
-			return key, nil, badRequest("path submissions are disabled (server has no data directory)")
+			return key, nil, 0, badRequest("path submissions are disabled (server has no data directory)")
 		}
 		resolved, err := resolveDataPath(dataDir, r.Path)
 		if err != nil {
-			return key, nil, err
+			return key, nil, 0, err
 		}
 		data, err = os.ReadFile(resolved)
 		if err != nil {
-			return key, nil, badRequest("read dataset: %v", err)
+			return key, nil, 0, badRequest("read dataset: %v", err)
 		}
 		if r.Dataset == "" {
 			r.Dataset = r.Path
 		}
 	default:
-		return key, nil, badRequest("one of csv or path is required")
+		return key, nil, 0, badRequest("one of csv or path is required")
 	}
 
 	sum := sha256.Sum256(data)
@@ -153,7 +169,7 @@ func (r *jobRequest) normalize(dataDir string) (cacheKey, *core.MemoSource, erro
 			Relation:  relation.Options{DistinctNulls: r.DistinctNulls, Workers: r.Workers},
 		},
 	}}
-	return key, src, nil
+	return key, src, int64(len(data)), nil
 }
 
 // options builds the engine options of the request.

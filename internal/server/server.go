@@ -18,6 +18,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -68,6 +69,32 @@ type Config struct {
 	// jobs failing on recovered panics, /healthz reports degraded until a
 	// job completes cleanly again (<= 0 selects 3).
 	DegradedAfter int
+	// QueueTarget is the CoDel sojourn target of the adaptive admission
+	// controller: when dequeue-time queue wait stays above it for a full
+	// target-length interval, the oldest queued job is shed (<= 0 selects
+	// 2s; set very large to effectively disable shedding).
+	QueueTarget time.Duration
+	// BreakerThreshold is the consecutive-failure count at which the
+	// per-(dataset, algorithm) circuit breaker opens (<= 0 selects 3).
+	BreakerThreshold int
+	// BreakerCooldown is how long an open breaker fast-fails with 422
+	// before half-opening for a single trial probe (<= 0 selects 30s).
+	BreakerCooldown time.Duration
+	// MemSoftBytes is the soft heap watermark: above it, newly admitted
+	// jobs run degraded — PLI cache budget clamped to DegradedCacheBytes,
+	// sampled-check prefilter forced on (0 disables).
+	MemSoftBytes int64
+	// MemHardBytes is the hard heap watermark: above it, submissions of
+	// LargeJobBytes or more are refused with 503 until pressure recedes
+	// (0 disables).
+	MemHardBytes int64
+	// DegradedCacheBytes is the PLI cache budget forced onto jobs admitted
+	// above the soft watermark (<= 0 selects 16 MiB). A job's own tighter
+	// budget wins.
+	DegradedCacheBytes int64
+	// LargeJobBytes is the dataset size at which a submission counts as
+	// large for the hard-watermark gate (<= 0 selects 256 KiB).
+	LargeJobBytes int64
 	// StateDir enables crash-safe state: every admitted job and dataset
 	// session is journaled to a WAL in this directory, dataset profiler
 	// state is checkpointed after every completed job, and Open replays the
@@ -109,6 +136,21 @@ func (c *Config) applyDefaults() {
 	if c.DegradedAfter <= 0 {
 		c.DegradedAfter = 3
 	}
+	if c.QueueTarget <= 0 {
+		c.QueueTarget = 2 * time.Second
+	}
+	if c.BreakerThreshold <= 0 {
+		c.BreakerThreshold = 3
+	}
+	if c.BreakerCooldown <= 0 {
+		c.BreakerCooldown = 30 * time.Second
+	}
+	if c.DegradedCacheBytes <= 0 {
+		c.DegradedCacheBytes = 16 << 20
+	}
+	if c.LargeJobBytes <= 0 {
+		c.LargeJobBytes = 256 << 10
+	}
 }
 
 // Server is the profiling service. Create one with New, expose Handler on an
@@ -127,11 +169,23 @@ type Server struct {
 	queue chan *job
 	wg    sync.WaitGroup
 
+	// Overload-resilience subsystems: the adaptive admission controller
+	// (service-time EWMAs + CoDel shedding), the per-key circuit breakers,
+	// and the memory-watermark governor.
+	admission *admission
+	breakers  *breakerSet
+	governor  *memGovernor
+
 	mu       sync.Mutex
 	draining bool
 	jobs     map[string]*job
 	order    []string // submission order, for retention eviction
 	nextID   int64
+	// idem maps idempotency keys onto their jobs for the retained lifetime
+	// of the job: a retried submission with a known key replays the
+	// existing job instead of enqueueing a duplicate. Rebuilt from the
+	// journal on recovery.
+	idem map[string]*job
 
 	// datasets are the server's incremental profiling sessions (see
 	// dataset.go). They are keyed by id and live for the server's lifetime:
@@ -183,7 +237,11 @@ func Open(cfg Config) (*Server, RecoveryStats, error) {
 		cancelRuns: cancel,
 		queue:      make(chan *job, cfg.QueueDepth),
 		jobs:       make(map[string]*job),
+		idem:       make(map[string]*job),
 		datasets:   make(map[string]*dataset),
+		admission:  newAdmission(cfg.Workers, cfg.QueueTarget),
+		breakers:   newBreakerSet(cfg.BreakerThreshold, cfg.BreakerCooldown),
+		governor:   newMemGovernor(cfg.MemSoftBytes, cfg.MemHardBytes),
 	}
 	s.routes()
 
@@ -310,9 +368,45 @@ func (s *Server) runJob(j *job) {
 		}
 	}()
 
+	// Dequeue-time overload accounting: the sojourn this job spent queued
+	// feeds the queue-wait histogram and the CoDel state. When sojourn has
+	// stayed above target for a full interval, the oldest still-queued job
+	// is shed — the queue sheds from the head under sustained overload
+	// instead of serving every job late.
+	sojourn := time.Since(j.submitted)
+	s.metrics.queueWait.observe(sojourn.Seconds())
+	if s.admission.onDequeue(sojourn) {
+		if shed := s.shedOldestQueued(); shed != "" {
+			s.logf("overload: shed queued job %s (queue sojourn %v above target %v)",
+				shed, sojourn.Round(time.Millisecond), s.cfg.QueueTarget)
+		}
+	}
+
 	j.mu.Lock()
 	if j.state != StateQueued { // canceled while waiting
 		j.mu.Unlock()
+		return
+	}
+	// A job whose whole deadline elapsed in the queue is doomed: fail it
+	// here with an honest message instead of starting a run that the
+	// already-expired context would cut on its first cancellation check.
+	if j.timeout > 0 && sojourn >= j.timeout {
+		msg := fmt.Sprintf("deadline (%v) elapsed after %v in queue; run never started — resubmit with a longer timeout or retry off-peak",
+			j.timeout, sojourn.Round(time.Millisecond))
+		j.state = StateFailed
+		j.err = msg
+		j.finished = time.Now().UTC()
+		j.mu.Unlock()
+		s.metrics.jobsDoomedInQueue.Add(1)
+		s.announce(j, StateFailed, msg)
+		// Neutral for the breaker: the queue, not the dataset, ate the
+		// deadline.
+		if j.hasBreaker {
+			s.breakers.recordNeutral(j.breakerKey)
+		}
+		if j.done != nil {
+			j.done(StateFailed, msg)
+		}
 		return
 	}
 	ctx, cancel := context.WithCancel(s.baseCtx)
@@ -336,6 +430,16 @@ func (s *Server) runJob(j *job) {
 	opts := j.req.options()
 	if opts.MaxCacheBytes == 0 {
 		opts.MaxCacheBytes = s.cfg.MaxCacheBytes
+	}
+	if j.degraded {
+		// Admitted above the soft memory watermark: clamp the PLI cache
+		// budget and force the sampled-check prefilter. Both trade wall time
+		// for footprint without changing results (sampling only refutes, the
+		// budget only evicts), so degraded-run reports are still cacheable.
+		opts.SampleCheck = true
+		if opts.MaxCacheBytes <= 0 || opts.MaxCacheBytes > s.cfg.DegradedCacheBytes {
+			opts.MaxCacheBytes = s.cfg.DegradedCacheBytes
+		}
 	}
 
 	var res *core.Result
@@ -415,14 +519,37 @@ func isTransient(err error) bool {
 }
 
 // finish moves j (owned by the calling worker, state running) to a terminal
-// state and announces the transition.
+// state and announces the transition. The outcome feeds the overload
+// controllers: real service time trains the admission estimator, and the
+// run's verdict settles this key's circuit breaker — success closes it,
+// failure or a deadline blowout counts toward (or past) its threshold,
+// cancellation and loss say nothing about the dataset and stay neutral.
 func (s *Server) finish(j *job, state, errMsg string, report *core.Report) {
 	j.mu.Lock()
 	j.state = state
 	j.err = errMsg
 	j.result = report
 	j.finished = time.Now().UTC()
+	started, finished := j.started, j.finished
 	j.mu.Unlock()
+	if !started.IsZero() {
+		switch state {
+		case StateDone, StatePartial, StateFailed:
+			s.admission.observeService(j.req.Algorithm, finished.Sub(started))
+		}
+	}
+	if j.hasBreaker {
+		switch state {
+		case StateDone:
+			s.breakers.recordSuccess(j.breakerKey)
+		case StatePartial, StateFailed:
+			if s.breakers.recordFailure(j.breakerKey, errMsg, finished) {
+				s.logf("circuit breaker opened: sha=%s algorithm=%s after %q", j.breakerKey.sha[:12], j.breakerKey.alg, errMsg)
+			}
+		default:
+			s.breakers.recordNeutral(j.breakerKey)
+		}
+	}
 	s.announce(j, state, errMsg)
 	if j.done != nil {
 		j.done(state, errMsg)
@@ -473,6 +600,12 @@ func (s *Server) cancelIfQueued(j *job, reason string) bool {
 	j.err = reason
 	j.finished = time.Now().UTC()
 	j.mu.Unlock()
+	// Neutral for the breaker: a canceled or shed job says nothing about
+	// whether its dataset is pathological, and a half-open trial slot it may
+	// hold must be released.
+	if j.hasBreaker {
+		s.breakers.recordNeutral(j.breakerKey)
+	}
 	s.announce(j, StateCanceled, reason)
 	if j.done != nil {
 		j.done(StateCanceled, reason)
@@ -488,9 +621,15 @@ func (s *Server) register(j *job) {
 	s.registerLocked(j)
 }
 
-// registerLocked is register with s.mu already held.
+// registerLocked is register with s.mu already held. It also maintains the
+// idempotency-key table: the key maps onto the job for exactly the job's
+// retained lifetime, so dedup and retention expire together (a replayed key
+// whose job was evicted is simply a fresh submission again).
 func (s *Server) registerLocked(j *job) {
 	s.jobs[j.id] = j
+	if j.idemKey != "" {
+		s.idem[j.idemKey] = j
+	}
 	s.order = append(s.order, j.id)
 	for len(s.order) > s.cfg.MaxRetainedJobs {
 		evicted := false
@@ -501,6 +640,9 @@ func (s *Server) registerLocked(j *job) {
 			old.mu.Unlock()
 			if dead {
 				delete(s.jobs, id)
+				if old.idemKey != "" && s.idem[old.idemKey] == old {
+					delete(s.idem, old.idemKey)
+				}
 				s.order = append(s.order[:i], s.order[i+1:]...)
 				evicted = true
 				break
@@ -584,14 +726,17 @@ func (s *Server) resolveTimeout(w http.ResponseWriter, requested float64) (time.
 	return timeout, true
 }
 
-// enqueueJob admits j: the draining check, the journal write, the send and
-// the registration happen under one critical section, so Shutdown's
-// queued-job sweep (same lock) sees every job that is in the queue, and no
-// send can be mid-flight when Shutdown closes the channel. The admit record
-// (when the server is durable) is fsync'd BEFORE the job becomes runnable: a
-// crash after the client's 202 can therefore never forget the job, and a
-// worker can never finish a job whose admission was not journaled yet.
-// Rejections (503 draining or journal failure, 429 full) are written here.
+// enqueueJob admits j: the draining check, the idempotency-key claim, the
+// admission-control checks, the journal write, the send and the registration
+// happen under one critical section, so Shutdown's queued-job sweep (same
+// lock) sees every job that is in the queue, no send can be mid-flight when
+// Shutdown closes the channel, and exactly one of any set of concurrent
+// same-key submissions wins the key. The admit record (when the server is
+// durable) is fsync'd BEFORE the job becomes runnable: a crash after the
+// client's 202 can therefore never forget the job, and a worker can never
+// finish a job whose admission was not journaled yet. Rejections (503
+// draining or journal failure, 429 predicted-deadline or full) are written
+// here, all with a Retry-After computed from the controller's wait estimate.
 func (s *Server) enqueueJob(w http.ResponseWriter, j *job, admit *walRecord) bool {
 	s.mu.Lock()
 	if s.draining {
@@ -600,15 +745,47 @@ func (s *Server) enqueueJob(w http.ResponseWriter, j *job, admit *walRecord) boo
 		writeJSON(w, http.StatusServiceUnavailable, apiError{Error: "server is shutting down"})
 		return false
 	}
+	// Idempotency double-check inside the critical section: a racing
+	// duplicate may have claimed the key between handleSubmit's lock-free
+	// fast path and here. The first claimant wins; everyone else replays its
+	// job.
+	if j.idemKey != "" {
+		if prev, hit := s.idem[j.idemKey]; hit {
+			s.mu.Unlock()
+			s.replayIdem(w, prev)
+			return false
+		}
+	}
+	// Deadline-aware admission: with service-time history for this algorithm
+	// in hand, a job predicted to exhaust its entire deadline queueing plus
+	// running is rejected now with an honest Retry-After instead of being
+	// accepted, parked, and failed minutes later. The slack margin absorbs
+	// estimate noise; a cold controller (no history) always admits and learns.
+	predictedWait := s.admission.predictWait(len(s.queue))
+	if est, known := s.admission.estimateService(j.req.Algorithm); known && j.timeout > 0 {
+		if predictedWait+est > j.timeout.Seconds()+admissionSlack(j.timeout).Seconds() {
+			s.mu.Unlock()
+			s.metrics.rejectedPredicted.Add(1)
+			retry := retryAfterSecs(predictedWait)
+			w.Header().Set("Retry-After", strconv.Itoa(retry))
+			s.logf("job rejected (429): predicted %.2fs wait + %.2fs service exceeds deadline %v", predictedWait, est, j.timeout)
+			writeJSON(w, http.StatusTooManyRequests, apiError{
+				Error: fmt.Sprintf("predicted completion (%.1fs queue wait + %.1fs service) exceeds the %v deadline; retry in %ds or raise timeout_seconds",
+					predictedWait, est, j.timeout, retry),
+			})
+			return false
+		}
+	}
 	// Capacity check instead of a non-blocking send: every send happens
 	// under s.mu and workers only drain, so a free slot observed here cannot
 	// vanish before the send below.
 	if len(s.queue) == cap(s.queue) {
 		s.mu.Unlock()
 		s.metrics.rejectedQueueFull.Add(1)
-		w.Header().Set("Retry-After", "1")
+		retry := retryAfterSecs(predictedWait)
+		w.Header().Set("Retry-After", strconv.Itoa(retry))
 		writeJSON(w, http.StatusTooManyRequests, apiError{
-			Error: fmt.Sprintf("job queue is full (%d waiting); retry later", s.cfg.QueueDepth),
+			Error: fmt.Sprintf("job queue is full (%d waiting); retry in %ds", s.cfg.QueueDepth, retry),
 		})
 		return false
 	}
@@ -616,7 +793,7 @@ func (s *Server) enqueueJob(w http.ResponseWriter, j *job, admit *walRecord) boo
 		if err := s.journal(*admit); err != nil {
 			s.mu.Unlock()
 			s.logf("job %s rejected (503): journal admit: %v", j.id, err)
-			w.Header().Set("Retry-After", "1")
+			s.setRetryAfter(w)
 			writeJSON(w, http.StatusServiceUnavailable, apiError{Error: "state journal unavailable: " + err.Error()})
 			return false
 		}
@@ -630,12 +807,65 @@ func (s *Server) enqueueJob(w http.ResponseWriter, j *job, admit *walRecord) boo
 	return true
 }
 
+// setRetryAfter stamps a Retry-After computed from the controller's current
+// queue-wait prediction (clamped to [1s, 60s]) — an honest hint, not a
+// constant.
+func (s *Server) setRetryAfter(w http.ResponseWriter) {
+	w.Header().Set("Retry-After", strconv.Itoa(retryAfterSecs(s.admission.predictWait(len(s.queue)))))
+}
+
+// replayIdem answers a submission whose idempotency key already maps onto a
+// job: the existing record — same ID, same event stream — is the response,
+// 200 once it settled, 202 while it is still queued or running. The retry
+// that raced a slow original gets the original's handle, never a duplicate
+// execution.
+func (s *Server) replayIdem(w http.ResponseWriter, prev *job) {
+	s.metrics.idemReplays.Add(1)
+	v := prev.view()
+	code := http.StatusAccepted
+	if terminal(v.State) {
+		code = http.StatusOK
+	}
+	w.Header().Set("Idempotent-Replay", "true")
+	w.Header().Set("Location", "/v1/jobs/"+prev.id)
+	s.logf("job %s replayed (idempotency key dedup)", prev.id)
+	writeJSON(w, code, v)
+}
+
+// shedOldestQueued cancels the oldest still-queued job — CoDel's head drop.
+// Under sustained overload the stalest queued work has already burned most
+// of its deadline and the freshest has the best chance of meeting its own,
+// so the queue sheds from the head instead of serving everything late.
+func (s *Server) shedOldestQueued() string {
+	s.mu.Lock()
+	var victim *job
+	for _, id := range s.order {
+		j := s.jobs[id]
+		j.mu.Lock()
+		queued := j.state == StateQueued
+		j.mu.Unlock()
+		if queued {
+			victim = j
+			break
+		}
+	}
+	s.mu.Unlock()
+	if victim == nil {
+		return ""
+	}
+	if !s.cancelIfQueued(victim, "shed: queue wait stayed above target (server overloaded); retry later") {
+		return ""
+	}
+	s.metrics.jobsShed.Add(1)
+	return victim.id
+}
+
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	// Injected admission fault: proves a failing enqueue path surfaces as a
 	// structured 503 with a retry hint, not a dead daemon or a hung client.
 	if err := faults.Inject(faults.ServerEnqueue); err != nil {
 		s.logf("submit rejected (injected fault): %v", err)
-		w.Header().Set("Retry-After", "1")
+		s.setRetryAfter(w)
 		writeJSON(w, http.StatusServiceUnavailable, apiError{Error: "admission unavailable: " + err.Error()})
 		return
 	}
@@ -643,7 +873,13 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if !s.decodeBody(w, r, &req) {
 		return
 	}
-	key, src, err := req.normalize(s.cfg.DataDir)
+	// The Idempotency-Key header wins over the body field: the header is the
+	// standard surface retry middlewares and proxies set without touching the
+	// payload.
+	if hk := r.Header.Get("Idempotency-Key"); hk != "" {
+		req.IdempotencyKey = hk
+	}
+	key, src, size, err := req.normalize(s.cfg.DataDir)
 	if err != nil {
 		s.logf("submit rejected (400): %v", err)
 		writeJSON(w, http.StatusBadRequest, apiError{Error: err.Error()})
@@ -654,10 +890,25 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	// Idempotent fast path: a key that already maps onto a retained job —
+	// this submission is a retry — replays that job before any admission
+	// work happens. The authoritative claim check re-runs under the
+	// admission critical section (enqueueJob) for submissions that get there.
+	if req.IdempotencyKey != "" {
+		s.mu.Lock()
+		prev, hit := s.idem[req.IdempotencyKey]
+		s.mu.Unlock()
+		if hit {
+			s.replayIdem(w, prev)
+			return
+		}
+	}
+
 	j := &job{
 		req:       req,
 		key:       key,
 		src:       src,
+		idemKey:   req.IdempotencyKey,
 		state:     StateQueued,
 		submitted: time.Now().UTC(),
 		timeout:   timeout,
@@ -687,7 +938,19 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		j.finished = j.submitted
 		j.events.append(JobEvent{Event: core.Event{Type: EventState}, State: StateDone})
 		j.events.close()
-		s.register(j)
+		// Claim the idempotency key and register under one lock section: a
+		// racing duplicate that claimed the key first wins, and this
+		// submission replays its job instead of registering a second record.
+		s.mu.Lock()
+		if j.idemKey != "" {
+			if prev, hit := s.idem[j.idemKey]; hit {
+				s.mu.Unlock()
+				s.replayIdem(w, prev)
+				return
+			}
+		}
+		s.registerLocked(j)
+		s.mu.Unlock()
 		// Best-effort journal so the job ID answers "done" after a restart
 		// too (the report itself lives only in the in-memory cache); the
 		// client already has the result in hand, so a journal failure does
@@ -706,7 +969,48 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	// Circuit breaker: a (dataset, algorithm) pair that keeps failing —
+	// panics, deadline blowouts, hard errors — fast-fails here with the
+	// error that tripped it, instead of burning another worker slot on work
+	// the server has every reason to believe is doomed. 422: the request is
+	// well-formed, the payload is the problem.
+	bk := breakerKey{sha: key.DatasetSHA256, alg: key.Algorithm}
+	if allowed, lastErr, retryIn := s.breakers.allow(bk, time.Now()); !allowed {
+		s.metrics.rejectedBreaker.Add(1)
+		s.metrics.breakerFastFails.Add(1)
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSecs(retryIn.Seconds())))
+		s.logf("job rejected (422): circuit breaker open for sha=%s algorithm=%s", key.DatasetSHA256[:12], key.Algorithm)
+		writeJSON(w, http.StatusUnprocessableEntity, apiError{
+			Error: fmt.Sprintf("circuit breaker open for this dataset and algorithm after repeated failures (last error: %s); retry after the cooldown", lastErr),
+		})
+		return
+	}
+	j.breakerKey = bk
+	j.hasBreaker = true
+
+	// Memory-watermark gate: above the hard watermark, large submissions are
+	// refused outright; any pressure at all (soft or hard) makes admitted
+	// jobs run degraded — shrunken PLI cache budget, sampled-check prefilter
+	// on. Results stay exact either way.
+	if level, heap := s.governor.state(); level != memHealthy {
+		if level >= memHard && size >= s.cfg.LargeJobBytes {
+			s.metrics.rejectedMemPressure.Add(1)
+			s.breakers.recordNeutral(bk)
+			s.setRetryAfter(w)
+			s.logf("job rejected (503): heap %d bytes above hard watermark, dataset %d bytes", heap, size)
+			writeJSON(w, http.StatusServiceUnavailable, apiError{
+				Error: fmt.Sprintf("memory pressure: heap is above the hard watermark; submissions of %d+ bytes are refused until it recedes", s.cfg.LargeJobBytes),
+			})
+			return
+		}
+		j.degraded = true
+	}
+
 	if !s.enqueueJob(w, j, &walRecord{Type: recJob, Job: j.id, Req: &j.req}) {
+		// The breaker may have admitted this submission as its half-open
+		// trial probe; an admission rejection is no verdict on the key, so
+		// the trial slot must be released for the next submission.
+		s.breakers.recordNeutral(bk)
 		return
 	}
 	s.logf("job %s queued: algorithm=%s dataset=%s sha256=%s", j.id, req.Algorithm, req.Dataset, key.DatasetSHA256[:12])
@@ -809,6 +1113,23 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{
 			"status": "degraded",
 			"reason": fmt.Sprintf("%d consecutive jobs failed on recovered panics", n),
+		})
+		return
+	}
+	// Open breakers and hard memory pressure are degraded too: the server is
+	// up, but some class of work is being refused. Both clear on their own —
+	// breakers half-open after cooldown, the governor re-samples the heap.
+	if open, _ := s.breakers.counts(time.Now()); open > 0 {
+		writeJSON(w, http.StatusOK, map[string]string{
+			"status": "degraded",
+			"reason": fmt.Sprintf("%d circuit breaker(s) open", open),
+		})
+		return
+	}
+	if level, _ := s.governor.last(); level >= memHard {
+		writeJSON(w, http.StatusOK, map[string]string{
+			"status": "degraded",
+			"reason": "heap above the hard memory watermark",
 		})
 		return
 	}

@@ -415,7 +415,7 @@ func (s *Server) recoverDataset(rd *replayedDataset, jobs map[string]*replayedJo
 // file, missing batch, wrong order) fails the fingerprint check and poisons
 // the session instead of serving wrong metadata.
 func (s *Server) resumeSession(d *dataset, ck *datasetCheckpoint, applied [][][]string) error {
-	_, src, err := d.req.normalize(s.cfg.DataDir)
+	_, src, _, err := d.req.normalize(s.cfg.DataDir)
 	if err != nil {
 		return fmt.Errorf("reload dataset: %w", err)
 	}
@@ -458,6 +458,10 @@ func (s *Server) restoreTerminalJob(rj *replayedJob, req *jobRequest, stats *Rec
 	}
 	if req != nil {
 		j.req = *req
+		// The idempotency key rides inside the journaled request, so the
+		// dedup table survives the restart: a client retrying a submission it
+		// made before the crash gets this record back, not a duplicate run.
+		j.idemKey = req.IdempotencyKey
 	}
 	j.events.append(JobEvent{Event: core.Event{Type: EventReplay}})
 	j.events.append(JobEvent{Event: core.Event{Type: EventState}, State: rj.endState, Error: rj.endErr})
@@ -482,6 +486,7 @@ func (s *Server) rebuildPlainJob(rj *replayedJob, stats *RecoveryStats) *job {
 	j := &job{
 		id:        rj.id,
 		req:       *rj.req,
+		idemKey:   rj.req.IdempotencyKey,
 		state:     StateQueued,
 		journaled: true,
 		submitted: rj.admitted,
@@ -489,7 +494,7 @@ func (s *Server) rebuildPlainJob(rj *replayedJob, stats *RecoveryStats) *job {
 		events:    newEventLog(),
 	}
 	j.events.append(JobEvent{Event: core.Event{Type: EventReplay}})
-	key, src, err := j.req.normalize(s.cfg.DataDir)
+	key, src, _, err := j.req.normalize(s.cfg.DataDir)
 	if err != nil {
 		j.state = StateFailed
 		j.err = fmt.Sprintf("replay: %v", err)

@@ -65,6 +65,9 @@ go test -race -count=1 ./internal/durable/
 echo "== restart-semantics suite (race) =="
 go test -race -count=1 -run 'TestRestart' ./internal/server/
 
+echo "== overload-resilience suite (admission, breakers, watermarks, race) =="
+go test -race -count=1 -run 'TestAdaptiveAdmission|TestAdmissionEstimate|TestCoDel|TestIdempoten|TestCircuitBreaker|TestMemWatermark|TestOverload' ./internal/server/
+
 echo "== profiled service smoke test =="
 ./scripts/smoke_profiled.sh
 
@@ -73,5 +76,8 @@ echo "== profiled chaos test =="
 
 echo "== profiled kill -9 recovery test =="
 ./scripts/crash_profiled.sh
+
+echo "== profiled overload flood test =="
+./scripts/overload_profiled.sh
 
 echo "verify.sh: all checks passed"
